@@ -1,0 +1,155 @@
+// E12 — Engineering microbenchmarks (google-benchmark): throughput of the
+// pieces that bound simulation scale, plus the exact-vs-approximate planner
+// tail ablation called out in DESIGN.md §6.
+#include <benchmark/benchmark.h>
+
+#include "src/apps/workload.h"
+#include "src/auction/exchange.h"
+#include "src/common/rng.h"
+#include "src/core/pad_simulation.h"
+#include "src/overbook/poisson_binomial.h"
+#include "src/overbook/replication_planner.h"
+#include "src/radio/machine.h"
+#include "src/sim/simulator.h"
+#include "src/trace/generator.h"
+
+namespace pad {
+namespace {
+
+void BM_RngNextDouble(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextDouble());
+  }
+}
+BENCHMARK(BM_RngNextDouble);
+
+void BM_RngPoisson(benchmark::State& state) {
+  Rng rng(1);
+  const double mean = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Poisson(mean));
+  }
+}
+BENCHMARK(BM_RngPoisson)->Arg(3)->Arg(100);
+
+void BM_RadioMachineSubmit(benchmark::State& state) {
+  const RadioProfile profile = ThreeGProfile();
+  RadioMachine machine(profile);
+  double t = 0.0;
+  for (auto _ : state) {
+    machine.Submit(Transfer{t, 3072.0, Direction::kDownlink, TrafficCategory::kAdFetch});
+    t += 30.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RadioMachineSubmit);
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.ScheduleAt(static_cast<double>(i % 100), [] {});
+    }
+    sim.RunAll();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+void BM_PoissonBinomialTail(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  std::vector<double> probs;
+  for (int i = 0; i < n; ++i) {
+    probs.push_back(rng.Uniform(0.1, 0.9));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PoissonBinomialTailGeq(probs, n / 2));
+  }
+}
+BENCHMARK(BM_PoissonBinomialTail)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_PoissonBinomialTailNormal(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  std::vector<double> probs;
+  for (int i = 0; i < n; ++i) {
+    probs.push_back(rng.Uniform(0.1, 0.9));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PoissonBinomialTailGeqNormal(probs, n / 2));
+  }
+}
+BENCHMARK(BM_PoissonBinomialTailNormal)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_PlannerPlanToTarget(benchmark::State& state) {
+  PlannerConfig config;
+  config.sla_target = 0.95;
+  config.max_replicas = 8;
+  ReplicationPlanner planner(config);
+  Rng rng(3);
+  std::vector<double> probs;
+  for (int i = 0; i < 32; ++i) {
+    probs.push_back(rng.Uniform(0.2, 0.95));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.PlanToTarget(probs, 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlannerPlanToTarget);
+
+void BM_ExchangeSellSlots(benchmark::State& state) {
+  CampaignStreamConfig config;
+  config.horizon_s = 365.0 * kDay;
+  config.arrivals_per_day = 500.0;
+  const std::vector<Campaign> campaigns = GenerateCampaignStream(config);
+  Exchange exchange(ExchangeConfig{}, campaigns);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exchange.SellSlots(t, 10));
+    t += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_ExchangeSellSlots);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  PopulationConfig config;
+  config.num_users = static_cast<int>(state.range(0));
+  config.horizon_s = 14.0 * kDay;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GeneratePopulation(config));
+  }
+}
+BENCHMARK(BM_TraceGeneration)->Arg(10)->Arg(100);
+
+void BM_WorkloadExpansion(benchmark::State& state) {
+  const AppCatalog catalog = AppCatalog::TopFifteen();
+  PopulationConfig config;
+  config.num_users = 50;
+  config.horizon_s = 14.0 * kDay;
+  config.num_apps = catalog.size();
+  const Population population = GeneratePopulation(config);
+  WorkloadOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExpandPopulation(catalog, population, options));
+  }
+}
+BENCHMARK(BM_WorkloadExpansion);
+
+void BM_EndToEndQuickRun(benchmark::State& state) {
+  PadConfig config = QuickConfig();
+  config.population.num_users = 20;
+  const SimInputs inputs = GenerateInputs(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunPad(config, inputs));
+  }
+}
+BENCHMARK(BM_EndToEndQuickRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pad
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// E6 — Overbooking: SLA violation rate and revenue loss as the replication
+// policy sweeps from no insurance to heavy overbooking. Reproduces the
+// paper's central tradeoff: replicas buy deadline safety with duplicate
+// (unbillable) displays, and a modest factor suffices.
+#include "bench/bench_util.h"
+
+namespace pad {
+namespace {
+
+void Run(int num_users) {
+  PadConfig config = bench::StandardConfig(num_users);
+  config.planner.max_replicas = 8;
+  const SimInputs inputs = GenerateInputs(config);
+  const BaselineResult baseline = RunBaseline(config, inputs);
+
+  PrintBanner(std::cout,
+              "E6: fixed overbooking factor sweep (target expected displays per sale)");
+  TextTable table(bench::MetricsHeader("factor"));
+  for (double factor : {0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0}) {
+    PadConfig point = config;
+    point.overbooking_factor = factor;
+    const PadRunResult result = RunPad(point, inputs);
+    table.AddRow(bench::MetricsRow(FormatDouble(factor, 2), baseline, result));
+  }
+  table.Print(std::cout);
+
+  PrintBanner(std::cout, "E6: adaptive planner (PlanToTarget) across SLA targets");
+  TextTable adaptive(bench::MetricsHeader("sla_target"));
+  for (double target : {0.80, 0.90, 0.95, 0.99}) {
+    PadConfig point = config;
+    point.overbooking_factor = -1.0;  // Adaptive mode.
+    point.planner.sla_target = target;
+    const PadRunResult result = RunPad(point, inputs);
+    adaptive.AddRow(bench::MetricsRow(FormatDouble(target, 2), baseline, result));
+  }
+  adaptive.Print(std::cout);
+
+  PrintBanner(std::cout, "E6: ablation — invalidation sync and rescue pass");
+  TextTable ablation(bench::MetricsHeader("mechanism"));
+  {
+    const PadRunResult all_on = RunPad(config, inputs);
+    ablation.AddRow(bench::MetricsRow("full system", baseline, all_on));
+  }
+  {
+    PadConfig point = config;
+    point.rescue_enabled = false;
+    ablation.AddRow(bench::MetricsRow("no rescue pass", baseline, RunPad(point, inputs)));
+  }
+  {
+    PadConfig point = config;
+    point.invalidation_sync = false;
+    point.rescue_enabled = false;
+    ablation.AddRow(bench::MetricsRow("no sync, no rescue", baseline, RunPad(point, inputs)));
+  }
+  ablation.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace pad
+
+int main(int argc, char** argv) {
+  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250));
+  return 0;
+}

@@ -1,0 +1,29 @@
+// E10 — Population effect: overbooking pools risk across clients, so the
+// replica planner (and the rescue pass) need a large enough population to
+// find capable backups. Small deployments see worse SLA/loss at the same
+// policy settings.
+#include "bench/bench_util.h"
+
+namespace pad {
+namespace {
+
+void Run() {
+  PrintBanner(std::cout, "E10: metrics vs population size (same policy everywhere)");
+  TextTable table(bench::MetricsHeader("users"));
+  for (int users : {10, 25, 50, 100, 200, 400, 800}) {
+    PadConfig config = bench::StandardConfig(users);
+    const SimInputs inputs = GenerateInputs(config);
+    const BaselineResult baseline = RunBaseline(config, inputs);
+    const PadRunResult pad = RunPad(config, inputs);
+    table.AddRow(bench::MetricsRow(std::to_string(users), baseline, pad));
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace pad
+
+int main() {
+  pad::Run();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// E11 — Robustness to prediction error: the abstract calls the client
+// estimate "unreliable" and claims overbooking absorbs it. A noisy oracle
+// injects controlled multiplicative error (the predictor *reports* its own
+// noise variance, so the overbooking model can price the risk), sweeping
+// from perfect foresight to wildly wrong.
+#include "bench/bench_util.h"
+
+namespace pad {
+namespace {
+
+void Run(int num_users) {
+  PadConfig config = bench::StandardConfig(num_users);
+  config.use_noisy_oracle = true;
+  const SimInputs inputs = GenerateInputs(config);
+  const BaselineResult baseline = RunBaseline(config, inputs);
+
+  PrintBanner(std::cout, "E11: noisy-oracle sigma sweep (lognormal, mean-preserving)");
+  TextTable table(bench::MetricsHeader("noise_sigma"));
+  for (double sigma : {0.0, 0.25, 0.5, 0.75, 1.0, 1.5}) {
+    PadConfig point = config;
+    point.oracle_noise_sigma = sigma;
+    table.AddRow(bench::MetricsRow(FormatDouble(sigma, 2), baseline, RunPad(point, inputs)));
+  }
+  table.Print(std::cout);
+
+  PrintBanner(std::cout, "E11: trained predictor for reference (time_of_day)");
+  TextTable reference(bench::MetricsHeader("predictor"));
+  PadConfig trained = config;
+  trained.use_noisy_oracle = false;
+  reference.AddRow(bench::MetricsRow("time_of_day", baseline, RunPad(trained, inputs)));
+  reference.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace pad
+
+int main(int argc, char** argv) {
+  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250));
+  return 0;
+}

@@ -1,0 +1,56 @@
+// E7 — The energy/revenue tradeoff frontier: how aggressively inventory is
+// sold in advance (capacity confidence) and how conservatively clients
+// predict (quantile level) trade energy savings against revenue loss and
+// SLA violations. Each row is one operating point of the frontier.
+#include "bench/bench_util.h"
+
+namespace pad {
+namespace {
+
+void Run(int num_users) {
+  PadConfig config = bench::StandardConfig(num_users);
+  const SimInputs inputs = GenerateInputs(config);
+  const BaselineResult baseline = RunBaseline(config, inputs);
+
+  PrintBanner(std::cout, "E7: capacity-confidence frontier (time_of_day predictor)");
+  TextTable frontier(bench::MetricsHeader("capacity_conf"));
+  for (double confidence : {0.10, 0.20, 0.30, 0.40, 0.50, 0.65, 0.80}) {
+    PadConfig point = config;
+    point.capacity_confidence = confidence;
+    frontier.AddRow(
+        bench::MetricsRow(FormatDouble(confidence, 2), baseline, RunPad(point, inputs)));
+  }
+  frontier.Print(std::cout);
+
+  PrintBanner(std::cout, "E7: predictor risk posture (capacity_conf = 0.30)");
+  TextTable predictors(bench::MetricsHeader("predictor"));
+  for (PredictorKind kind :
+       {PredictorKind::kQuantileConservative, PredictorKind::kQuantileMedian,
+        PredictorKind::kTimeOfDay, PredictorKind::kQuantileAggressive, PredictorKind::kEwma,
+        PredictorKind::kLastValue}) {
+    PadConfig point = config;
+    point.predictor = kind;
+    predictors.AddRow(
+        bench::MetricsRow(PredictorKindName(kind), baseline, RunPad(point, inputs)));
+  }
+  predictors.Print(std::cout);
+
+  PrintBanner(std::cout, "E7: planner tail model (exact Poisson-binomial vs normal approx)");
+  TextTable tail_model(bench::MetricsHeader("tail_model"));
+  {
+    PadConfig point = config;
+    point.planner.exact_tail = true;
+    tail_model.AddRow(bench::MetricsRow("exact", baseline, RunPad(point, inputs)));
+    point.planner.exact_tail = false;
+    tail_model.AddRow(bench::MetricsRow("normal_approx", baseline, RunPad(point, inputs)));
+  }
+  tail_model.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace pad
+
+int main(int argc, char** argv) {
+  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250));
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Shared setup for the experiment-regeneration harnesses (bench_*).
+//
+// Every harness prints the rows/series of one table or figure from the
+// paper's evaluation (see DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured). Populations are scaled down from
+// the paper's 1,700 users so the full suite runs in minutes; pass a user
+// count as argv[1] to run any harness at full scale.
+#ifndef ADPAD_BENCH_BENCH_UTIL_H_
+#define ADPAD_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/core/pad_simulation.h"
+
+namespace pad {
+namespace bench {
+
+// The standard evaluation config: 3 trace weeks (1 warmup + 2 scored).
+inline PadConfig StandardConfig(int num_users) {
+  PadConfig config;
+  config.population.num_users = num_users;
+  config.population.horizon_s = 21.0 * kDay;
+  config.warmup_days = 7;
+  // Demand scales with supply so the market never starves the comparison.
+  config.campaigns.arrivals_per_day = std::max(50.0, 1.5 * num_users);
+  return config;
+}
+
+inline int UsersFromArgv(int argc, char** argv, int default_users) {
+  if (argc > 1) {
+    const int users = std::atoi(argv[1]);
+    if (users > 0) {
+      return users;
+    }
+  }
+  return default_users;
+}
+
+inline std::string Pct(double fraction, int precision = 1) {
+  return FormatDouble(100.0 * fraction, precision) + "%";
+}
+
+// Summary row shared by the end-to-end sweeps.
+inline std::vector<std::string> MetricsRow(const std::string& label,
+                                           const BaselineResult& baseline,
+                                           const PadRunResult& pad) {
+  Comparison comparison{baseline, pad};
+  return {label,
+          Pct(comparison.AdEnergySavings()),
+          Pct(pad.service.CacheHitRate()),
+          Pct(pad.ledger.SlaViolationRate(), 2),
+          Pct(pad.ledger.RevenueLossRate(), 2),
+          FormatDouble(pad.MeanReplication(), 2),
+          Pct(comparison.RevenueRatio())};
+}
+
+inline std::vector<std::string> MetricsHeader(const std::string& knob) {
+  return {knob,       "ad_energy_savings", "cache_hit", "sla_violation",
+          "rev_loss", "replication",       "revenue_vs_baseline"};
+}
+
+}  // namespace bench
+}  // namespace pad
+
+#endif  // ADPAD_BENCH_BENCH_UTIL_H_

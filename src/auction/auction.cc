@@ -1,0 +1,32 @@
+#include "src/auction/auction.h"
+
+#include "src/common/check.h"
+
+namespace pad {
+
+AuctionOutcome RunSecondPriceAuction(std::span<const Bid> bids, double reserve_price) {
+  PAD_CHECK(reserve_price >= 0.0);
+  AuctionOutcome outcome;
+  double best = -1.0;
+  double second = -1.0;
+  for (const Bid& bid : bids) {
+    PAD_DCHECK(bid.amount >= 0.0);
+    if (bid.amount <= reserve_price) {
+      continue;
+    }
+    if (bid.amount > best) {
+      second = best;
+      best = bid.amount;
+      outcome.winner_id = bid.bidder_id;
+      outcome.sold = true;
+    } else if (bid.amount > second) {
+      second = bid.amount;
+    }
+  }
+  if (outcome.sold) {
+    outcome.clearing_price = second > reserve_price ? second : reserve_price;
+  }
+  return outcome;
+}
+
+}  // namespace pad

@@ -1,0 +1,33 @@
+// Sealed-bid second-price (Vickrey) single-slot auction.
+//
+// The exchange sells every impression through this primitive: the highest
+// bidder wins and pays the maximum of the runner-up bid and the reserve
+// price. Factored out of the exchange so its properties (truthfulness,
+// clearing-price bounds) can be tested in isolation.
+#ifndef ADPAD_SRC_AUCTION_AUCTION_H_
+#define ADPAD_SRC_AUCTION_AUCTION_H_
+
+#include <cstdint>
+#include <span>
+
+namespace pad {
+
+struct Bid {
+  int64_t bidder_id = 0;
+  double amount = 0.0;
+};
+
+struct AuctionOutcome {
+  bool sold = false;
+  int64_t winner_id = 0;
+  double clearing_price = 0.0;
+};
+
+// Runs one auction. Bids at or below the reserve are ignored; with a single
+// qualifying bid the winner pays the reserve. Ties break toward the earlier
+// bid in the span (deterministic).
+AuctionOutcome RunSecondPriceAuction(std::span<const Bid> bids, double reserve_price);
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_AUCTION_AUCTION_H_

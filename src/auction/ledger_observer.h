@@ -1,0 +1,26 @@
+// Observer interface for billing-ledger events, so instrumentation (the
+// core event log) can watch the market without the auction layer depending
+// on it.
+#ifndef ADPAD_SRC_AUCTION_LEDGER_OBSERVER_H_
+#define ADPAD_SRC_AUCTION_LEDGER_OBSERVER_H_
+
+#include <cstdint>
+
+namespace pad {
+
+class LedgerObserver {
+ public:
+  virtual ~LedgerObserver() = default;
+
+  virtual void OnSale(double time, int64_t impression_id, int64_t campaign_id,
+                      double price) = 0;
+  virtual void OnBilledDisplay(double time, int64_t impression_id, int64_t campaign_id,
+                               double price) = 0;
+  virtual void OnExcessDisplay(double time, int64_t impression_id) = 0;
+  virtual void OnViolation(double deadline, int64_t impression_id, int64_t campaign_id,
+                           double price) = 0;
+};
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_AUCTION_LEDGER_OBSERVER_H_

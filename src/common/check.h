@@ -1,0 +1,46 @@
+// Lightweight runtime assertion macros used across the library.
+//
+// PAD_CHECK is always on (release builds included): the simulation and the
+// planners are research instruments, and silently continuing past a broken
+// invariant would corrupt results far more expensively than the branch costs.
+// PAD_DCHECK compiles away in NDEBUG builds and is meant for hot loops.
+#ifndef ADPAD_SRC_COMMON_CHECK_H_
+#define ADPAD_SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pad {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "PAD_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace pad
+
+#define PAD_CHECK(expr)                                   \
+  do {                                                    \
+    if (!(expr)) {                                        \
+      ::pad::CheckFailed(#expr, __FILE__, __LINE__, "");  \
+    }                                                     \
+  } while (0)
+
+#define PAD_CHECK_MSG(expr, msg)                           \
+  do {                                                     \
+    if (!(expr)) {                                         \
+      ::pad::CheckFailed(#expr, __FILE__, __LINE__, msg);  \
+    }                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define PAD_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define PAD_DCHECK(expr) PAD_CHECK(expr)
+#endif
+
+#endif  // ADPAD_SRC_COMMON_CHECK_H_

@@ -1,0 +1,36 @@
+// Unit conventions shared by every module.
+//
+// All simulation time is `double` seconds since the start of the trace; all
+// energy is joules; all power is watts; payload sizes are bytes. The helpers
+// here exist so call sites read as `3 * kHour` instead of `10800.0`.
+#ifndef ADPAD_SRC_COMMON_UNITS_H_
+#define ADPAD_SRC_COMMON_UNITS_H_
+
+namespace pad {
+
+// Time, in seconds.
+inline constexpr double kSecond = 1.0;
+inline constexpr double kMinute = 60.0;
+inline constexpr double kHour = 3600.0;
+inline constexpr double kDay = 24.0 * kHour;
+inline constexpr double kWeek = 7.0 * kDay;
+
+// Data sizes, in bytes.
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * kKiB;
+
+// Power, in watts.
+inline constexpr double kMilliwatt = 1e-3;
+
+// Convert seconds-since-trace-start to the hour-of-day in [0, 24).
+inline double HourOfDay(double t) {
+  double day_offset = t - static_cast<double>(static_cast<long long>(t / kDay)) * kDay;
+  return day_offset / kHour;
+}
+
+// Day index (0-based) of a trace timestamp.
+inline int DayIndex(double t) { return static_cast<int>(t / kDay); }
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_COMMON_UNITS_H_

@@ -1,0 +1,60 @@
+#include "src/core/ad_cache.h"
+
+#include "src/common/check.h"
+
+namespace pad {
+
+void AdCache::Push(const CachedAd& ad) {
+  PAD_CHECK(ad.deadline >= 0.0);
+  queue_.push_back(ad);
+  ++total_pushed_;
+}
+
+std::optional<CachedAd> AdCache::PopForDisplay(double now) {
+  while (!queue_.empty()) {
+    CachedAd front = queue_.front();
+    queue_.pop_front();
+    if (front.deadline > now) {
+      return front;
+    }
+    ++expired_drops_;
+  }
+  return std::nullopt;
+}
+
+int64_t AdCache::DropExpired(double now) {
+  int64_t dropped = 0;
+  // FIFO order is deadline order only per dispatch batch; scan the whole
+  // queue so deadline skew across batches cannot hide expired entries.
+  std::deque<CachedAd> kept;
+  for (const CachedAd& ad : queue_) {
+    if (ad.deadline > now) {
+      kept.push_back(ad);
+    } else {
+      ++dropped;
+    }
+  }
+  queue_.swap(kept);
+  expired_drops_ += dropped;
+  return dropped;
+}
+
+int64_t AdCache::Invalidate(const std::unordered_set<int64_t>& impression_ids) {
+  if (impression_ids.empty() || queue_.empty()) {
+    return 0;
+  }
+  int64_t dropped = 0;
+  std::deque<CachedAd> kept;
+  for (const CachedAd& ad : queue_) {
+    if (impression_ids.count(ad.impression_id) != 0) {
+      ++dropped;
+    } else {
+      kept.push_back(ad);
+    }
+  }
+  queue_.swap(kept);
+  invalidated_drops_ += dropped;
+  return dropped;
+}
+
+}  // namespace pad

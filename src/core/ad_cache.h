@@ -1,0 +1,59 @@
+// Client-side ad cache: prefetched ads waiting for display slots.
+//
+// FIFO within deadlines: the server dispatches ads in sale order and earlier
+// sales have earlier deadlines, so serving the front first is deadline-
+// earliest-first. An ad whose deadline has passed is useless to everyone —
+// the sale is already an SLA violation and showing it cannot bill — so the
+// cache silently drops expired entries at pop time, letting the slot go to
+// the next live ad instead of wasting it.
+#ifndef ADPAD_SRC_CORE_AD_CACHE_H_
+#define ADPAD_SRC_CORE_AD_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_set>
+
+namespace pad {
+
+// A prefetched ad replica held by one client.
+struct CachedAd {
+  int64_t impression_id = 0;
+  int64_t campaign_id = 0;
+  double deadline = 0.0;  // Absolute display deadline.
+  double bytes = 0.0;     // Creative payload size (for the prefetch transfer).
+};
+
+class AdCache {
+ public:
+  void Push(const CachedAd& ad);
+
+  // Returns the first ad that is still displayable at `now`, dropping any
+  // expired ads encountered; nullopt when nothing displayable remains.
+  std::optional<CachedAd> PopForDisplay(double now);
+
+  // Drops every ad with deadline <= now. Returns the number dropped.
+  int64_t DropExpired(double now);
+
+  // Server-driven invalidation: removes replicas of impressions that were
+  // already billed on some other client, so they stop occupying queue
+  // positions and cannot surface as duplicate (excess) displays. Returns the
+  // number removed.
+  int64_t Invalidate(const std::unordered_set<int64_t>& impression_ids);
+
+  int64_t size() const { return static_cast<int64_t>(queue_.size()); }
+  bool empty() const { return queue_.empty(); }
+  int64_t expired_drops() const { return expired_drops_; }
+  int64_t invalidated_drops() const { return invalidated_drops_; }
+  int64_t total_pushed() const { return total_pushed_; }
+
+ private:
+  std::deque<CachedAd> queue_;
+  int64_t expired_drops_ = 0;
+  int64_t invalidated_drops_ = 0;
+  int64_t total_pushed_ = 0;
+};
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_CORE_AD_CACHE_H_

@@ -1,0 +1,37 @@
+#include "src/core/metrics.h"
+
+namespace pad {
+
+double EnergyBreakdown::AdEnergyJ() const {
+  return radio.For(TrafficCategory::kAdFetch).total_j() +
+         radio.For(TrafficCategory::kAdPrefetch).total_j() +
+         radio.For(TrafficCategory::kSlotReport).total_j();
+}
+
+double EnergyBreakdown::AdShareOfComm() const {
+  const double comm = CommEnergyJ();
+  return comm > 0.0 ? AdEnergyJ() / comm : 0.0;
+}
+
+double EnergyBreakdown::AdShareOfTotal() const {
+  const double total = TotalJ();
+  return total > 0.0 ? AdEnergyJ() / total : 0.0;
+}
+
+double Comparison::AdEnergySavings() const {
+  const double base = baseline.energy.AdEnergyJ();
+  if (base <= 0.0) {
+    return 0.0;
+  }
+  return 1.0 - pad.energy.AdEnergyJ() / base;
+}
+
+double Comparison::RevenueRatio() const {
+  const double base = baseline.ledger.billed_revenue;
+  if (base <= 0.0) {
+    return pad.ledger.billed_revenue > 0.0 ? 2.0 : 1.0;
+  }
+  return pad.ledger.billed_revenue / base;
+}
+
+}  // namespace pad

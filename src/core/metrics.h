@@ -1,0 +1,104 @@
+// Result types for the end-to-end experiments: energy, service quality, and
+// revenue accounting for a baseline or PAD run, plus the paired comparison
+// every headline number comes from.
+#ifndef ADPAD_SRC_CORE_METRICS_H_
+#define ADPAD_SRC_CORE_METRICS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/auction/ledger.h"
+#include "src/radio/machine.h"
+
+namespace pad {
+
+// Population-aggregate energy, split by what the joules bought.
+struct EnergyBreakdown {
+  EnergyReport radio;     // All radio energy, attributed by TrafficCategory.
+  double local_j = 0.0;   // CPU + display energy while apps foregrounded.
+
+  // Energy of the advertising machinery: on-demand fetches, bulk prefetches,
+  // and slot-report uploads, including the radio tails they caused. This is
+  // the paper's "ad energy overhead".
+  double AdEnergyJ() const;
+  double CommEnergyJ() const { return radio.total_energy_j(); }
+  double TotalJ() const { return CommEnergyJ() + local_j; }
+
+  // Ads' share of communication energy (the paper's 65% number) and of total
+  // energy (the 23% number).
+  double AdShareOfComm() const;
+  double AdShareOfTotal() const;
+};
+
+// How ad slots got filled.
+struct ServiceStats {
+  int64_t slots = 0;             // Display opportunities that occurred.
+  int64_t served_from_cache = 0; // Filled by a prefetched ad (no radio wakeup).
+  int64_t fallback_fetches = 0;  // Cache empty: on-demand fetch like baseline.
+  int64_t unfilled = 0;          // No cached ad and no demand at auction.
+  int64_t expired_cache_drops = 0;  // Cached replicas discarded past deadline.
+
+  double CacheHitRate() const {
+    return slots > 0 ? static_cast<double>(served_from_cache) / static_cast<double>(slots) : 0.0;
+  }
+};
+
+struct BaselineResult {
+  EnergyBreakdown energy;
+  LedgerTotals ledger;
+  ServiceStats service;
+  double scored_days = 0.0;
+};
+
+// One bucket of the overbooking model's calibration curve: impressions whose
+// planned success probability fell in [lo, hi), and how many were actually
+// billed before their deadline.
+struct CalibrationBucket {
+  int64_t planned = 0;
+  int64_t delivered = 0;
+  double sum_predicted = 0.0;
+
+  double PredictedRate() const {
+    return planned > 0 ? sum_predicted / static_cast<double>(planned) : 0.0;
+  }
+  double RealizedRate() const {
+    return planned > 0 ? static_cast<double>(delivered) / static_cast<double>(planned) : 0.0;
+  }
+};
+inline constexpr int kCalibrationBuckets = 10;
+
+struct PadRunResult {
+  EnergyBreakdown energy;
+  LedgerTotals ledger;
+  ServiceStats service;
+  double scored_days = 0.0;
+
+  // Calibration of the dispatch-time success model (bucket i covers
+  // predicted probability [i/10, (i+1)/10)). Realized rates include the
+  // rescue pass, so under-predicted buckets landing *above* the diagonal is
+  // the designed behaviour.
+  std::array<CalibrationBucket, kCalibrationBuckets> calibration{};
+
+  int64_t impressions_dispatched = 0;  // Replica copies pushed to clients.
+  int64_t impressions_sold = 0;
+  double MeanReplication() const {
+    return impressions_sold > 0
+               ? static_cast<double>(impressions_dispatched) / static_cast<double>(impressions_sold)
+               : 0.0;
+  }
+};
+
+// Paired baseline/PAD run on the same trace and campaign stream.
+struct Comparison {
+  BaselineResult baseline;
+  PadRunResult pad;
+
+  // Headline metric: fraction of the baseline's ad energy that PAD removed.
+  double AdEnergySavings() const;
+  // Revenue under PAD relative to the baseline's billed revenue (1.0 = parity).
+  double RevenueRatio() const;
+};
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_CORE_METRICS_H_

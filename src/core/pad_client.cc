@@ -1,0 +1,162 @@
+#include "src/core/pad_client.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace pad {
+
+PadClient::PadClient(int client_id, int segment, const PadConfig& config,
+                     std::unique_ptr<SlotPredictor> predictor)
+    : client_id_(client_id),
+      segment_(segment),
+      config_(config),
+      predictor_(std::move(predictor)),
+      radio_(config.radio),
+      wifi_radio_(config.wifi_radio) {
+  PAD_CHECK(predictor_ != nullptr);
+  PAD_CHECK(segment_ >= 0 && segment_ < kMaxSegments);
+}
+
+void PadClient::StartWindow(double now, int abs_window) {
+  PAD_CHECK(abs_window >= 0);
+  (void)now;
+  if (current_window_ >= 0) {
+    predictor_->Observe(current_window_, window_slot_count_);
+  }
+  current_window_ = abs_window;
+  window_slot_count_ = 0;
+
+  const double max_slots = config_.max_slot_rate_per_s * config_.prediction_window_s;
+  const double predicted_slots =
+      std::clamp(predictor_->Predict(abs_window), 0.0, max_slots);
+  const double predicted_var = std::clamp(predictor_->PredictVariance(abs_window), 0.0,
+                                          max_slots * max_slots);
+  predicted_rate_ = predicted_slots / config_.prediction_window_s;
+  predicted_var_rate_ = predicted_var / config_.prediction_window_s;
+
+  // Queue the report; a stale pending report that never found a wakeup to
+  // ride is superseded (the client was idle, so the server lost nothing).
+  pending_report_bytes_ = config_.slot_report_bytes;
+}
+
+RadioMachine& PadClient::Route(double t) {
+  return WifiAvailableAt(config_.wifi, client_id_, t) ? wifi_radio_ : radio_;
+}
+
+void PadClient::FlushControlTraffic(double now) {
+  RadioMachine& radio = Route(now);
+  if (pending_report_bytes_ > 0.0) {
+    radio.Submit(Transfer{.request_time = now,
+                           .bytes = pending_report_bytes_,
+                           .direction = Direction::kUplink,
+                           .category = TrafficCategory::kSlotReport});
+    pending_report_bytes_ = 0.0;
+  }
+  if (pending_invalidation_bytes_ > 0.0) {
+    radio.Submit(Transfer{.request_time = now,
+                           .bytes = pending_invalidation_bytes_,
+                           .direction = Direction::kDownlink,
+                           .category = TrafficCategory::kSlotReport});
+    pending_invalidation_bytes_ = 0.0;
+  }
+}
+
+void PadClient::ReceiveAds(double now, std::span<const CachedAd> ads) {
+  (void)now;
+  pending_ads_.insert(pending_ads_.end(), ads.begin(), ads.end());
+}
+
+void PadClient::FlushPendingAds(double now) {
+  if (pending_ads_.empty()) {
+    return;
+  }
+  double bytes = 0.0;
+  int fetched = 0;
+  for (const CachedAd& ad : pending_ads_) {
+    if (ad.deadline <= now) {
+      continue;  // Expired before it was ever downloaded: zero energy spent.
+    }
+    cache_.Push(ad);
+    bytes += ad.bytes;
+    ++fetched;
+  }
+  pending_ads_.clear();
+  if (fetched > 0) {
+    Route(now).Submit(Transfer{.request_time = now,
+                           .bytes = bytes,
+                           .direction = Direction::kDownlink,
+                           .category = TrafficCategory::kAdPrefetch});
+  }
+}
+
+void PadClient::SyncCache(double now, const std::unordered_set<int64_t>& invalidated_ids) {
+  cache_.DropExpired(now);
+  // Invalidating a *fetched* replica needs a server message (bytes); pending
+  // replicas are dropped server-side for free since they were never sent.
+  const int64_t dropped = cache_.Invalidate(invalidated_ids);
+  if (dropped > 0 && config_.invalidation_bytes > 0.0) {
+    pending_invalidation_bytes_ += config_.invalidation_bytes * static_cast<double>(dropped);
+  }
+  if (!invalidated_ids.empty() && !pending_ads_.empty()) {
+    std::erase_if(pending_ads_, [&](const CachedAd& ad) {
+      return invalidated_ids.count(ad.impression_id) != 0;
+    });
+  }
+  std::erase_if(pending_ads_, [&](const CachedAd& ad) { return ad.deadline <= now; });
+}
+
+void PadClient::OnSlot(double now, Exchange& exchange, ServiceStats& stats) {
+  ++stats.slots;
+  ++window_slot_count_;
+
+  std::optional<CachedAd> ad = cache_.PopForDisplay(now);
+  if (!ad.has_value() && !pending_ads_.empty()) {
+    // Dry cache but a bundle awaits: one bulk fetch covers this slot and the
+    // rest of the burst.
+    FlushControlTraffic(now);
+    FlushPendingAds(now);
+    ad = cache_.PopForDisplay(now);
+  }
+  if (ad.has_value()) {
+    // Local serve: no extra radio wakeup. Billing (or excess, if a replica
+    // elsewhere displayed it first) is decided by the ledger.
+    exchange.ledger().RecordDisplay(ad->impression_id, now);
+    ++stats.served_from_cache;
+    return;
+  }
+
+  // Cache dry (under-prediction or replica starvation): behave exactly like
+  // the baseline — real-time sale plus an on-demand fetch.
+  const std::vector<SoldImpression> sold = exchange.SellSlots(now, 1, segment_);
+  if (sold.empty()) {
+    ++stats.unfilled;  // No demand; a house ad shows, no traffic, no revenue.
+    return;
+  }
+  FlushControlTraffic(now);
+  Route(now).Submit(Transfer{.request_time = now,
+                             .bytes = config_.ad_bytes,
+                         .direction = Direction::kDownlink,
+                         .category = TrafficCategory::kAdFetch});
+  exchange.ledger().RecordDisplay(sold.front().impression_id, now);
+  ++stats.fallback_fetches;
+}
+
+void PadClient::OnContentTransfer(const Transfer& transfer) {
+  FlushControlTraffic(transfer.request_time);
+  FlushPendingAds(transfer.request_time);
+  Route(transfer.request_time).Submit(transfer);
+}
+
+void PadClient::FinishRadio(double horizon) {
+  radio_.Finalize(horizon);
+  wifi_radio_.Finalize(horizon);
+}
+
+EnergyReport PadClient::radio_report() const {
+  EnergyReport combined = radio_.report();
+  combined.Merge(wifi_radio_.report());
+  return combined;
+}
+
+}  // namespace pad

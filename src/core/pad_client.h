@@ -1,0 +1,118 @@
+// The PAD client agent: one simulated device running the prefetching SDK.
+//
+// Responsibilities, mirroring the paper's client component:
+//   * count its own ad slots per prediction window and keep an online slot
+//     predictor trained on them;
+//   * once per window, produce a slot report for the server. The report is
+//     piggybacked: its bytes ride on the client's next radio wakeup (bulk
+//     prefetch, content transfer, or fallback fetch) so the prediction
+//     machinery never pays a dedicated radio tail. The server still *reads*
+//     the prediction at the window boundary — the paper's clients upload
+//     ahead of the boundary during normal activity, which this models with
+//     one epoch of timing idealization (see pad_simulation.h);
+//   * accept replica bundles from the server. Bundles are fetched lazily:
+//     the bytes ride the client's next radio wakeup (content transfer), or —
+//     if a slot opens first — one bulk fetch at the slot covers the whole
+//     bundle. A bundle assigned to a client that never wakes up costs zero
+//     energy and simply expires. This "prefetch while the radio is hot"
+//     policy is what makes prefetching cheaper than per-ad fetching;
+//   * at each ad slot, serve from the cache with zero radio traffic, or fall
+//     back to a baseline-style on-demand fetch when the cache is dry.
+#ifndef ADPAD_SRC_CORE_PAD_CLIENT_H_
+#define ADPAD_SRC_CORE_PAD_CLIENT_H_
+
+#include <memory>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "src/auction/exchange.h"
+#include "src/core/ad_cache.h"
+#include "src/core/config.h"
+#include "src/core/metrics.h"
+#include "src/prediction/predictor.h"
+#include "src/radio/machine.h"
+
+namespace pad {
+
+class PadClient {
+ public:
+  PadClient(int client_id, int segment, const PadConfig& config,
+            std::unique_ptr<SlotPredictor> predictor);
+
+  int client_id() const { return client_id_; }
+  // Audience segment, for campaign targeting.
+  int segment() const { return segment_; }
+
+  // Window rollover at time `now`: observes the just-ended window's actual
+  // slot count, asks the predictor for the new window, and queues the slot
+  // report for piggybacked upload.
+  void StartWindow(double now, int abs_window);
+
+  // Predicted slot production rate (slots/second) for the current window.
+  double predicted_rate() const { return predicted_rate_; }
+  // Predicted variance of the slot count, per second (see ClientSlotEstimate).
+  double predicted_var_rate() const { return predicted_var_rate_; }
+
+  // Ads committed to this client (fetched + pending); the server's
+  // inventory-control view of the queue.
+  int64_t cache_size() const { return cache_.size() + static_cast<int64_t>(pending_ads_.size()); }
+
+  // Server dispatch: ads are assigned to this client. No radio traffic yet —
+  // the bundle downloads at the next wakeup (see FlushPendingAds).
+  void ReceiveAds(double now, std::span<const CachedAd> ads);
+
+  // Sync-time cache maintenance: drops expired replicas (local, free) and
+  // server-sent invalidations (piggybacked downlink bytes).
+  void SyncCache(double now, const std::unordered_set<int64_t>& invalidated_ids);
+
+  // An ad slot opened at `now`. Serves from cache or falls back to an
+  // on-demand sale + fetch against `exchange`. Updates `stats`.
+  void OnSlot(double now, Exchange& exchange, ServiceStats& stats);
+
+  // The app's own (non-ad) traffic.
+  void OnContentTransfer(const Transfer& transfer);
+
+  // Closes the radio tails at the end of the scored horizon.
+  void FinishRadio(double horizon);
+
+  // Combined energy across the cellular and (if enabled) WiFi interfaces.
+  EnergyReport radio_report() const;
+  const EnergyReport& cell_report() const { return radio_.report(); }
+  const EnergyReport& wifi_report() const { return wifi_radio_.report(); }
+  const AdCache& cache() const { return cache_; }
+
+ private:
+  // Picks the interface a transfer at time `t` rides (WiFi when the offload
+  // policy says it is available, cellular otherwise).
+  RadioMachine& Route(double t);
+
+  // Sends any pending control bytes (slot report, invalidation list) at
+  // `now`, sharing the radio wakeup of whatever triggered it.
+  void FlushControlTraffic(double now);
+
+  // Downloads the pending ad bundle (one bulk kAdPrefetch transfer) at `now`,
+  // dropping already-expired entries first.
+  void FlushPendingAds(double now);
+
+  int client_id_;
+  int segment_;
+  const PadConfig& config_;
+  std::unique_ptr<SlotPredictor> predictor_;
+  RadioMachine radio_;       // Cellular.
+  RadioMachine wifi_radio_;  // Idle unless the offload policy is enabled.
+  AdCache cache_;
+
+  double predicted_rate_ = 0.0;
+  double predicted_var_rate_ = 0.0;
+  int current_window_ = -1;
+  int window_slot_count_ = 0;
+
+  std::vector<CachedAd> pending_ads_;        // Assigned but not yet fetched.
+  double pending_report_bytes_ = 0.0;        // Uplink.
+  double pending_invalidation_bytes_ = 0.0;  // Downlink.
+};
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_CORE_PAD_CLIENT_H_

@@ -1,0 +1,428 @@
+#include "src/core/pad_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/check.h"
+#include "src/overbook/display_model.h"
+
+namespace pad {
+namespace {
+
+int CalibrationBucketOf(double p) {
+  const int bucket = static_cast<int>(p * kCalibrationBuckets);
+  return std::clamp(bucket, 0, kCalibrationBuckets - 1);
+}
+
+uint64_t DiversityKey(int client, int64_t campaign_id) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(client)) << 32) ^
+         static_cast<uint64_t>(campaign_id);
+}
+
+}  // namespace
+
+PadServer::PadServer(const PadConfig& config, std::vector<std::unique_ptr<PadClient>>& clients,
+                     Exchange& exchange, uint64_t seed, EventLog* event_log)
+    : config_(config),
+      clients_(clients),
+      exchange_(exchange),
+      planner_(config.planner),
+      rng_(seed),
+      event_log_(event_log),
+      num_segments_(config.population.num_segments),
+      carry_(clients.size(), 0.0),
+      virtual_queue_(clients.size(), 0),
+      candidate_mark_(clients.size(), 0) {
+  PAD_CHECK(!clients_.empty());
+  PAD_CHECK(config_.candidate_pool >= 0);
+  PAD_CHECK(config_.random_candidates >= 0);
+  PAD_CHECK(num_segments_ >= 1 && num_segments_ <= kMaxSegments);
+  segment_clients_.resize(static_cast<size_t>(num_segments_));
+  for (size_t c = 0; c < clients_.size(); ++c) {
+    const int segment = clients_[c]->segment();
+    PAD_CHECK_MSG(segment >= 0 && segment < num_segments_,
+                  "client segment out of configured range");
+    segment_clients_[static_cast<size_t>(segment)].push_back(static_cast<int>(c));
+  }
+  segment_order_.resize(static_cast<size_t>(num_segments_));
+  segment_cursor_.resize(static_cast<size_t>(num_segments_));
+}
+
+void PadServer::SyncClients(double now) {
+  // Which impressions billed since last sync, and which clients hold them.
+  std::vector<std::unordered_set<int64_t>> per_client(clients_.size());
+  if (config_.invalidation_sync) {
+    for (int64_t impression_id : exchange_.ledger().TakeRecentlyBilled()) {
+      const auto it = placements_.find(impression_id);
+      if (it == placements_.end()) {
+        continue;  // Baseline-style fallback sale; nothing was replicated.
+      }
+      for (int client : it->second.clients) {
+        per_client[static_cast<size_t>(client)].insert(impression_id);
+      }
+      CalibrationBucket& bucket =
+          calibration_[static_cast<size_t>(CalibrationBucketOf(it->second.predicted_success))];
+      ++bucket.planned;
+      ++bucket.delivered;
+      bucket.sum_predicted += it->second.predicted_success;
+      placements_.erase(it);
+    }
+  }
+  static const std::unordered_set<int64_t> kEmpty;
+  for (size_t c = 0; c < clients_.size(); ++c) {
+    clients_[c]->SyncCache(now, config_.invalidation_sync ? per_client[c] : kEmpty);
+  }
+  // Forget placements whose deadline passed (their replicas self-expire).
+  // These are the model's misses: dispatched but never delivered.
+  for (auto it = placements_.begin(); it != placements_.end();) {
+    if (it->second.deadline <= now) {
+      CalibrationBucket& bucket = calibration_[static_cast<size_t>(
+          CalibrationBucketOf(it->second.predicted_success))];
+      ++bucket.planned;
+      bucket.sum_predicted += it->second.predicted_success;
+      it = placements_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+double PadServer::CandidateProbability(int client, double horizon) const {
+  const ClientSlotEstimate estimate{
+      .client_id = client,
+      .slots_per_s = clients_[static_cast<size_t>(client)]->predicted_rate(),
+      .var_per_s = clients_[static_cast<size_t>(client)]->predicted_var_rate(),
+      .queue_ahead = static_cast<int>(virtual_queue_[static_cast<size_t>(client)])};
+  return DiscountedDisplayProbability(estimate, horizon, config_.planner.confidence_discount);
+}
+
+bool PadServer::Eligible(int client, const SoldImpression& impression,
+                         bool require_capacity) const {
+  const int segment = clients_[static_cast<size_t>(client)]->segment();
+  if (((impression.segment_mask >> static_cast<uint32_t>(segment)) & 1u) == 0) {
+    return false;
+  }
+  if (require_capacity && avail_[static_cast<size_t>(client)] <= 0) {
+    return false;
+  }
+  if (impression.frequency_cap_per_day > 0) {
+    const auto it = epoch_campaign_count_.find(DiversityKey(client, impression.campaign_id));
+    if (it != epoch_campaign_count_.end() && it->second >= impression.frequency_cap_per_day) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PadServer::BuildCandidates(const SoldImpression& impression,
+                                std::vector<int>& candidates) {
+  candidates.clear();
+  auto add_candidate = [&](int client) {
+    if (candidate_mark_[static_cast<size_t>(client)] == 0) {
+      candidate_mark_[static_cast<size_t>(client)] = 1;
+      candidates.push_back(client);
+    }
+  };
+
+  // Count masked segments so each contributes a fair share of the pool.
+  int masked_segments = 0;
+  for (int s = 0; s < num_segments_; ++s) {
+    if ((impression.segment_mask >> static_cast<uint32_t>(s)) & 1u) {
+      ++masked_segments;
+    }
+  }
+  if (masked_segments > 0) {
+    const int per_segment =
+        std::max(2, (1 + config_.candidate_pool + masked_segments - 1) / masked_segments);
+    for (int s = 0; s < num_segments_; ++s) {
+      if (((impression.segment_mask >> static_cast<uint32_t>(s)) & 1u) == 0) {
+        continue;
+      }
+      const std::vector<int>& order = segment_order_[static_cast<size_t>(s)];
+      size_t& cursor = segment_cursor_[static_cast<size_t>(s)];
+      while (cursor < order.size() &&
+             avail_[static_cast<size_t>(order[cursor])] <= 0) {
+        ++cursor;
+      }
+      int taken = 0;
+      for (size_t i = cursor; i < order.size() && taken < per_segment; ++i) {
+        const int client = order[i];
+        if (Eligible(client, impression, /*require_capacity=*/true)) {
+          add_candidate(client);
+          ++taken;
+        }
+      }
+    }
+  }
+
+  // A few random eligible extras (capacity not required) for diversity.
+  const int n = static_cast<int>(clients_.size());
+  int guard = 0;
+  int added = 0;
+  while (added < config_.random_candidates && guard < 64 * (config_.random_candidates + 1)) {
+    ++guard;
+    const int client = static_cast<int>(rng_.UniformInt(0, n - 1));
+    if (candidate_mark_[static_cast<size_t>(client)] == 0 &&
+        Eligible(client, impression, /*require_capacity=*/false)) {
+      add_candidate(client);
+      ++added;
+    }
+  }
+
+  for (int candidate : candidates) {
+    candidate_mark_[static_cast<size_t>(candidate)] = 0;
+  }
+}
+
+void PadServer::Dispatch(int client, const SoldImpression& impression, Placement* placement,
+                         bool rescue) {
+  bundles_[static_cast<size_t>(client)].push_back(CachedAd{
+      impression.impression_id, impression.campaign_id, impression.deadline, config_.ad_bytes});
+  ++virtual_queue_[static_cast<size_t>(client)];
+  --avail_[static_cast<size_t>(client)];
+  ++impressions_dispatched_;
+  if (event_log_ != nullptr) {
+    event_log_->OnDispatch(epoch_now_, impression.impression_id, impression.campaign_id,
+                           client, rescue);
+  }
+  if (impression.frequency_cap_per_day > 0) {
+    ++epoch_campaign_count_[DiversityKey(client, impression.campaign_id)];
+  }
+  if (placement != nullptr) {
+    placement->clients.push_back(client);
+  }
+}
+
+void PadServer::FinalizeCalibration() {
+  if (!config_.invalidation_sync) {
+    return;  // Placements were never tracked.
+  }
+  for (int64_t impression_id : exchange_.ledger().TakeRecentlyBilled()) {
+    const auto it = placements_.find(impression_id);
+    if (it == placements_.end()) {
+      continue;
+    }
+    CalibrationBucket& bucket =
+        calibration_[static_cast<size_t>(CalibrationBucketOf(it->second.predicted_success))];
+    ++bucket.planned;
+    ++bucket.delivered;
+    bucket.sum_predicted += it->second.predicted_success;
+    placements_.erase(it);
+  }
+  for (const auto& [impression_id, placement] : placements_) {
+    CalibrationBucket& bucket =
+        calibration_[static_cast<size_t>(CalibrationBucketOf(placement.predicted_success))];
+    ++bucket.planned;
+    bucket.sum_predicted += placement.predicted_success;
+  }
+  placements_.clear();
+}
+
+void PadServer::RunEpoch(double now) {
+  const double epoch_s = config_.EpochS();
+  const size_t n = clients_.size();
+  epoch_now_ = now;
+
+  // 1. Sync caches (expiry + targeted invalidation).
+  SyncClients(now);
+
+  // 2. Confident capacity per client, per-segment capacity orderings.
+  avail_.assign(n, 0);
+  for (size_t c = 0; c < n; ++c) {
+    const ClientSlotEstimate estimate{.client_id = static_cast<int>(c),
+                                      .slots_per_s = clients_[c]->predicted_rate(),
+                                      .var_per_s = clients_[c]->predicted_var_rate(),
+                                      .queue_ahead = 0};
+    const int capacity = ConfidentCapacity(estimate, epoch_s, config_.capacity_confidence);
+    avail_[c] = std::max<int64_t>(0, capacity - clients_[c]->cache_size());
+    virtual_queue_[c] = clients_[c]->cache_size();
+  }
+  for (int s = 0; s < num_segments_; ++s) {
+    std::vector<int>& order = segment_order_[static_cast<size_t>(s)];
+    order = segment_clients_[static_cast<size_t>(s)];
+    std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+      return avail_[static_cast<size_t>(a)] > avail_[static_cast<size_t>(b)];
+    });
+    segment_cursor_[static_cast<size_t>(s)] = 0;
+  }
+  bundles_.assign(n, {});
+  epoch_campaign_count_.clear();
+
+  // 3. Rescue pass: a sold impression that is still open as its deadline
+  // approaches, and whose holders look unlikely to deliver, gets one extra
+  // replica on the best eligible client. Insurance bought only once the
+  // original placement has demonstrably not paid out.
+  if (config_.rescue_enabled && config_.invalidation_sync) {
+    const double rescue_horizon =
+        config_.rescue_horizon_s > 0.0 ? config_.rescue_horizon_s : epoch_s;
+    for (auto& [impression_id, placement] : placements_) {
+      if (placement.deadline - now > rescue_horizon) {
+        continue;  // Not yet at risk.
+      }
+      // The server cannot see an ad's exact queue position, so it estimates
+      // each holder's chance with the ad halfway down its cache.
+      double all_miss = 1.0;
+      for (int holder : placement.clients) {
+        const ClientSlotEstimate estimate{
+            .client_id = holder,
+            .slots_per_s = clients_[static_cast<size_t>(holder)]->predicted_rate(),
+            .var_per_s = clients_[static_cast<size_t>(holder)]->predicted_var_rate(),
+            .queue_ahead =
+                static_cast<int>(clients_[static_cast<size_t>(holder)]->cache_size() / 2)};
+        all_miss *= 1.0 - DisplayProbability(estimate, placement.deadline - now);
+      }
+      if (1.0 - all_miss >= config_.rescue_threshold) {
+        continue;  // Holders are likely to deliver on their own.
+      }
+      // Synthesize the impression view the eligibility check needs.
+      SoldImpression impression;
+      impression.impression_id = impression_id;
+      impression.campaign_id = placement.campaign_id;
+      impression.deadline = placement.deadline;
+      impression.segment_mask = placement.segment_mask;
+      int chosen = -1;
+      for (int s = 0; s < num_segments_ && chosen < 0; ++s) {
+        if (((placement.segment_mask >> static_cast<uint32_t>(s)) & 1u) == 0) {
+          continue;
+        }
+        for (int client : segment_order_[static_cast<size_t>(s)]) {
+          if (avail_[static_cast<size_t>(client)] <= 0) {
+            break;  // Sorted: no capacity remains in this segment.
+          }
+          if (Eligible(client, impression, /*require_capacity=*/true) &&
+              std::find(placement.clients.begin(), placement.clients.end(), client) ==
+                  placement.clients.end()) {
+            chosen = client;
+            break;
+          }
+        }
+      }
+      if (chosen < 0) {
+        // Nobody has spare *confident* capacity (a quiet night). A certain
+        // violation is worse than a crowded queue: take the eligible client
+        // with the best raw display probability instead.
+        scratch_candidates_.clear();
+        BuildCandidates(impression, scratch_candidates_);
+        double best_p = 0.0;
+        for (int candidate : scratch_candidates_) {
+          if (std::find(placement.clients.begin(), placement.clients.end(), candidate) !=
+              placement.clients.end()) {
+            continue;
+          }
+          const double p = CandidateProbability(candidate, placement.deadline - now);
+          if (p > best_p) {
+            best_p = p;
+            chosen = candidate;
+          }
+        }
+      }
+      if (chosen < 0) {
+        continue;
+      }
+      Dispatch(chosen, impression, &placement, /*rescue=*/true);
+      ++rescues_dispatched_;
+    }
+  }
+
+  // 4. Per-segment sale sizing and sales. Segment order is shuffled so
+  // multi-segment campaigns do not always land on segment 0's inventory.
+  std::vector<SoldImpression> sold;
+  {
+    const std::vector<int> segment_sequence = rng_.Permutation(num_segments_);
+    for (int s : segment_sequence) {
+      int64_t to_sell = 0;
+      for (int client : segment_clients_[static_cast<size_t>(s)]) {
+        const double expected =
+            clients_[static_cast<size_t>(client)]->predicted_rate() * epoch_s +
+            carry_[static_cast<size_t>(client)];
+        int64_t slots = static_cast<int64_t>(std::floor(expected));
+        carry_[static_cast<size_t>(client)] = expected - static_cast<double>(slots);
+        if (config_.inventory_control) {
+          // Cap per client, not per segment: a client with no confident
+          // capacity (say, 2 a.m.) must not get sold against someone else's
+          // — replicas could not legally rescue the mismatch into the same
+          // thin hours, and early builds paid for it as night-time
+          // violations.
+          slots = std::min(slots, std::max<int64_t>(0, avail_[static_cast<size_t>(client)]));
+        }
+        to_sell += slots;
+      }
+      if (to_sell <= 0) {
+        continue;
+      }
+      // Frequency-capped campaigns may buy at most cap x (clients they can
+      // legally reach) per batch; anything more could never be dispatched.
+      const auto batch_limit = [this](const Campaign& campaign) -> int64_t {
+        if (campaign.frequency_cap_per_day <= 0) {
+          return 0;  // Unlimited.
+        }
+        int64_t reachable = 0;
+        for (int seg = 0; seg < num_segments_; ++seg) {
+          if (campaign.Targets(seg)) {
+            reachable += static_cast<int64_t>(segment_clients_[static_cast<size_t>(seg)].size());
+          }
+        }
+        return std::max<int64_t>(1, campaign.frequency_cap_per_day * reachable);
+      };
+      const std::vector<SoldImpression> batch =
+          exchange_.SellSlots(now, to_sell, s, batch_limit);
+      sold.insert(sold.end(), batch.begin(), batch.end());
+    }
+  }
+  impressions_sold_ += static_cast<int64_t>(sold.size());
+
+  // 5. Plan replicas per impression. Primaries waterfill the eligible
+  // clients with the most spare confident capacity; the overbooking planner
+  // adds backups while the chosen set's success probability misses the SLA
+  // target (adaptive mode) or until the expected display mass reaches the
+  // fixed overbooking factor.
+  std::vector<int> candidates;
+  std::vector<double> probs;
+  for (const SoldImpression& impression : sold) {
+    BuildCandidates(impression, candidates);
+    probs.clear();
+    const double horizon = impression.deadline - now;
+    for (int candidate : candidates) {
+      probs.push_back(CandidateProbability(candidate, horizon));
+    }
+
+    const ReplicaPlan plan =
+        config_.overbooking_factor > 0.0
+            ? planner_.PlanWithFactor(probs, /*needed=*/1, config_.overbooking_factor)
+            : planner_.PlanToTarget(probs, /*needed=*/1);
+
+    Placement placement;
+    placement.campaign_id = impression.campaign_id;
+    placement.deadline = impression.deadline;
+    placement.segment_mask = impression.segment_mask;
+    placement.predicted_success = plan.success_probability;
+    if (plan.chosen.empty()) {
+      // Never dispatch zero replicas: an undisplayable sale is a guaranteed
+      // violation, so at minimum the best candidate holds it.
+      if (!candidates.empty()) {
+        Dispatch(candidates.front(), impression, &placement);
+      }
+    } else {
+      for (int chosen : plan.chosen) {
+        Dispatch(candidates[static_cast<size_t>(chosen)], impression, &placement);
+      }
+    }
+    if (config_.invalidation_sync) {
+      placements_.emplace(impression.impression_id, std::move(placement));
+    }
+  }
+
+  // 6. Hand each client its bundle (downloaded lazily at the client's next
+  // radio wakeup).
+  for (size_t c = 0; c < n; ++c) {
+    if (!bundles_[c].empty()) {
+      clients_[c]->ReceiveAds(now, bundles_[c]);
+    }
+  }
+
+  // 7. Sweep sales whose deadline passed without a display.
+  exchange_.ledger().ExpireDeadlines(now);
+}
+
+}  // namespace pad

@@ -1,0 +1,130 @@
+// The PAD ad server: sells predicted client inventory and dispatches sold
+// ads with probabilistic replication.
+//
+// Once per sale epoch E (see PadConfig::EpochS) it:
+//   1. syncs clients — expired replicas are dropped and replicas of
+//      impressions billed elsewhere since the last epoch are invalidated
+//      (the server knows placements, so invalidations are targeted and cost
+//      a few piggybacked bytes);
+//   2. sizes a sale per audience segment: predicted demand (per-client rate
+//      x epoch, fractional remainders carried) capped by the segment's
+//      *confident capacity* — the number of queued ads its clients would
+//      drain before the deadline with probability >= capacity_confidence
+//      (inventory control). Demand beyond that cap is left to be sold in
+//      real time at display, exactly like the baseline, so aggressiveness
+//      trades energy for risk, not revenue;
+//   3. sells that many impressions in the exchange — before the slots
+//      exist, which is the paper's architectural move. Targeted campaigns
+//      only buy inventory of segments they cover;
+//   4. plans a replica set per impression: primaries waterfill the eligible
+//      (targeting-matched) clients with the most spare confident capacity;
+//      the overbooking planner adds backups (by display-by-deadline
+//      probability) until the SLA target or the fixed overbooking factor is
+//      met. Frequency-capped campaigns get at most cap replicas per client
+//      per epoch (ad diversity);
+//   5. runs the rescue pass: a sold impression still open as its deadline
+//      approaches, whose holders look unlikely to deliver, gets one extra
+//      replica on the best eligible client;
+//   6. hands each client its bundle (downloaded lazily at the client's next
+//      radio wakeup).
+#ifndef ADPAD_SRC_CORE_PAD_SERVER_H_
+#define ADPAD_SRC_CORE_PAD_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/auction/exchange.h"
+#include "src/common/rng.h"
+#include "src/core/config.h"
+#include "src/core/event_log.h"
+#include "src/core/pad_client.h"
+
+namespace pad {
+
+class PadServer {
+ public:
+  // `event_log` is optional instrumentation (may be null); it must outlive
+  // the server.
+  PadServer(const PadConfig& config, std::vector<std::unique_ptr<PadClient>>& clients,
+            Exchange& exchange, uint64_t seed, EventLog* event_log = nullptr);
+
+  // Runs one sale epoch starting at `now`.
+  void RunEpoch(double now);
+
+  // End-of-run bookkeeping: resolves the calibration outcome of impressions
+  // still tracked after the final epoch (delivered if billed since the last
+  // sync, missed otherwise). Call once, after the horizon.
+  void FinalizeCalibration();
+
+  int64_t impressions_sold() const { return impressions_sold_; }
+  int64_t impressions_dispatched() const { return impressions_dispatched_; }
+  int64_t rescues_dispatched() const { return rescues_dispatched_; }
+  const std::array<CalibrationBucket, kCalibrationBuckets>& calibration() const {
+    return calibration_;
+  }
+
+ private:
+  struct Placement {
+    int64_t campaign_id = 0;
+    double deadline = 0.0;
+    uint32_t segment_mask = kAllSegments;
+    double predicted_success = 0.0;  // Planner's P(>= 1 display) at dispatch.
+    std::vector<int> clients;
+  };
+
+  // Step 1: invalidation + expiry sync for every client.
+  void SyncClients(double now);
+  // Display probability of one candidate given current virtual queues.
+  double CandidateProbability(int client, double horizon) const;
+  // Whether `client` may receive one more replica of this impression
+  // (targeting match, spare capacity unless `require_capacity` is false,
+  // frequency/diversity cap).
+  bool Eligible(int client, const SoldImpression& impression, bool require_capacity) const;
+  // Distinct eligible candidate list: per masked segment, the clients with
+  // the most spare capacity, plus random eligible extras.
+  void BuildCandidates(const SoldImpression& impression, std::vector<int>& candidates);
+  // Commits one replica: bundle entry, bookkeeping, diversity counter.
+  void Dispatch(int client, const SoldImpression& impression, Placement* placement,
+                bool rescue = false);
+
+  const PadConfig& config_;
+  std::vector<std::unique_ptr<PadClient>>& clients_;
+  Exchange& exchange_;
+  ReplicationPlanner planner_;
+  Rng rng_;
+  EventLog* event_log_ = nullptr;
+  int num_segments_ = 1;
+  double epoch_now_ = 0.0;
+
+  // Static: which clients belong to each segment.
+  std::vector<std::vector<int>> segment_clients_;
+
+  // Fractional predicted-slot remainder per client.
+  std::vector<double> carry_;
+  // Scratch, rebuilt each epoch.
+  std::vector<int64_t> avail_;
+  std::vector<int64_t> virtual_queue_;
+  std::vector<uint8_t> candidate_mark_;
+  // Per-segment capacity ordering (by avail desc) and waterfill cursor.
+  std::vector<std::vector<int>> segment_order_;
+  std::vector<size_t> segment_cursor_;
+  // Per-epoch bundles under assembly.
+  std::vector<std::vector<CachedAd>> bundles_;
+  std::vector<int> scratch_candidates_;
+  // Diversity counter: replicas of (client, campaign) assigned this epoch.
+  std::unordered_map<uint64_t, int> epoch_campaign_count_;
+
+  // Live replica placements, for targeted invalidation and rescue.
+  std::unordered_map<int64_t, Placement> placements_;
+  std::array<CalibrationBucket, kCalibrationBuckets> calibration_{};
+
+  int64_t impressions_sold_ = 0;
+  int64_t impressions_dispatched_ = 0;
+  int64_t rescues_dispatched_ = 0;
+};
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_CORE_PAD_SERVER_H_

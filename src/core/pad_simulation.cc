@@ -1,0 +1,278 @@
+#include "src/core/pad_simulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "src/apps/workload.h"
+#include "src/common/check.h"
+#include "src/core/pad_client.h"
+#include "src/core/pad_server.h"
+#include "src/prediction/slot_series.h"
+#include "src/sim/simulator.h"
+
+namespace pad {
+
+Population FilterPopulation(const Population& population, double t0) {
+  Population filtered;
+  filtered.horizon_s = population.horizon_s;
+  filtered.users.reserve(population.users.size());
+  for (const UserTrace& user : population.users) {
+    UserTrace kept;
+    kept.user_id = user.user_id;
+    kept.segment = user.segment;
+    for (const Session& session : user.sessions) {
+      if (session.start_time >= t0) {
+        kept.sessions.push_back(session);
+      }
+    }
+    filtered.users.push_back(std::move(kept));
+  }
+  return filtered;
+}
+
+SimInputs GenerateInputs(const PadConfig& config) {
+  PadConfig cfg = config;  // Local copy to align derived fields.
+  AppCatalog catalog = AppCatalog::TopFifteen();
+  cfg.population.num_apps = catalog.size();
+
+  CampaignStreamConfig campaign_cfg = cfg.campaigns;
+  campaign_cfg.horizon_s = cfg.population.horizon_s;
+  campaign_cfg.display_deadline_s = cfg.deadline_s;
+  campaign_cfg.num_segments = cfg.population.num_segments;
+
+  SimInputs inputs{GeneratePopulation(cfg.population), std::move(catalog),
+                   GenerateCampaignStream(campaign_cfg)};
+  return inputs;
+}
+
+BaselineResult RunBaseline(const PadConfig& config, const SimInputs& inputs) {
+  const double t0 = config.WarmupS();
+  const double horizon = inputs.population.horizon_s;
+  PAD_CHECK_MSG(horizon > t0, "horizon must extend past the warmup");
+
+  const Population scored = FilterPopulation(inputs.population, t0);
+  WorkloadOptions options;
+  options.on_demand_ads = true;
+  options.app_content = true;
+  const std::vector<UserWorkload> workloads = ExpandPopulation(inputs.catalog, scored, options);
+
+  BaselineResult result;
+  result.scored_days = (horizon - t0) / kDay;
+
+  // Energy: each device's transfer schedule through its own radio.
+  struct SegmentedSlot {
+    double time;
+    int segment;
+  };
+  std::vector<SegmentedSlot> all_slots;
+  for (size_t u = 0; u < workloads.size(); ++u) {
+    const UserWorkload& workload = workloads[u];
+    if (config.wifi.enabled) {
+      // Route each transfer by availability at request time, mirroring what
+      // the PAD client does, so WiFi helps both systems equally.
+      std::vector<Transfer> on_cell;
+      std::vector<Transfer> on_wifi;
+      for (const Transfer& transfer : workload.transfers) {
+        (WifiAvailableAt(config.wifi, workload.user_id, transfer.request_time) ? on_wifi
+                                                                               : on_cell)
+            .push_back(transfer);
+      }
+      result.energy.radio.Merge(SimulateTransfers(config.radio, on_cell, horizon));
+      result.energy.radio.Merge(SimulateTransfers(config.wifi_radio, on_wifi, horizon));
+    } else {
+      result.energy.radio.Merge(SimulateTransfers(config.radio, workload.transfers, horizon));
+    }
+    result.energy.local_j += workload.local_energy_j;
+    for (const SlotEvent& slot : workload.slots) {
+      all_slots.push_back(SegmentedSlot{slot.time, scored.users[u].segment});
+    }
+  }
+
+  // Market: real-time auction per slot, display at sale time.
+  std::sort(all_slots.begin(), all_slots.end(),
+            [](const SegmentedSlot& a, const SegmentedSlot& b) { return a.time < b.time; });
+  ExchangeConfig exchange_config = config.exchange;
+  exchange_config.num_segments = config.population.num_segments;
+  Exchange exchange(exchange_config, inputs.campaigns);
+  for (const SegmentedSlot& slot : all_slots) {
+    ++result.service.slots;
+    const std::vector<SoldImpression> sold = exchange.SellSlots(slot.time, 1, slot.segment);
+    if (sold.empty()) {
+      ++result.service.unfilled;
+      continue;
+    }
+    exchange.ledger().RecordDisplay(sold.front().impression_id, slot.time);
+    ++result.service.fallback_fetches;  // Every baseline display is an on-demand fetch.
+  }
+  exchange.ledger().ExpireDeadlines(horizon + config.deadline_s);
+  result.ledger = exchange.ledger().totals();
+  return result;
+}
+
+namespace {
+
+// One client's chronologically merged input events for the scored phase.
+struct FeedEvent {
+  double time = 0.0;
+  bool is_slot = false;
+  Transfer transfer;  // Valid when !is_slot.
+};
+
+struct ClientFeed {
+  std::vector<FeedEvent> events;
+  size_t next = 0;
+};
+
+void ScheduleNextFeedEvent(Simulator& sim, ClientFeed& feed, PadClient& client,
+                           Exchange& exchange, ServiceStats& stats) {
+  if (feed.next >= feed.events.size()) {
+    return;
+  }
+  const FeedEvent& event = feed.events[feed.next++];
+  sim.ScheduleAt(event.time, [&sim, &feed, &client, &exchange, &stats, &event] {
+    if (event.is_slot) {
+      client.OnSlot(sim.now(), exchange, stats);
+    } else {
+      client.OnContentTransfer(event.transfer);
+    }
+    ScheduleNextFeedEvent(sim, feed, client, exchange, stats);
+  });
+}
+
+}  // namespace
+
+PadRunResult RunPad(const PadConfig& config, const SimInputs& inputs, EventLog* event_log) {
+  const double t0 = config.WarmupS();
+  const double horizon = inputs.population.horizon_s;
+  const double window_s = config.prediction_window_s;
+  const double epoch_s = config.EpochS();
+  PAD_CHECK_MSG(horizon > t0, "horizon must extend past the warmup");
+  PAD_CHECK(window_s > 0.0 && epoch_s > 0.0);
+
+  // The epoch must tile the prediction window so every window boundary is an
+  // epoch boundary.
+  const double ratio = window_s / epoch_s;
+  const int epochs_per_window = static_cast<int>(std::lround(ratio));
+  PAD_CHECK_MSG(std::fabs(ratio - epochs_per_window) < 1e-9 && epochs_per_window >= 1,
+                "prediction window must be a multiple of the sale epoch");
+
+  // --- Build clients with warm predictors -------------------------------
+  const int warmup_windows = static_cast<int>(std::lround(t0 / window_s));
+  PAD_CHECK_MSG(std::fabs(t0 / window_s - warmup_windows) < 1e-9,
+                "warmup must be a whole number of prediction windows");
+
+  std::vector<std::unique_ptr<PadClient>> clients;
+  clients.reserve(inputs.population.users.size());
+  int windows_per_day = 0;
+  for (const UserTrace& user : inputs.population.users) {
+    const std::vector<SlotEvent> slots = SlotsForUser(inputs.catalog, user);
+    const SlotSeries series = BinSlots(slots, horizon, window_s);
+    windows_per_day = series.WindowsPerDay();
+
+    std::unique_ptr<SlotPredictor> predictor;
+    if (config.use_noisy_oracle) {
+      PAD_CHECK(config.oracle_noise_sigma >= 0.0);
+      predictor = std::make_unique<NoisyOraclePredictor>(
+          series.counts, config.oracle_noise_sigma,
+          config.seed ^ (0x5eedull + static_cast<uint64_t>(user.user_id)));
+    } else {
+      predictor = MakePredictor(config.predictor, windows_per_day);
+      for (int w = 0; w < warmup_windows && w < series.num_windows(); ++w) {
+        predictor->Observe(w, series.counts[static_cast<size_t>(w)]);
+      }
+    }
+    clients.push_back(std::make_unique<PadClient>(user.user_id, user.segment, config,
+                                                  std::move(predictor)));
+  }
+
+  ExchangeConfig exchange_config = config.exchange;
+  exchange_config.num_segments = config.population.num_segments;
+  Exchange exchange(exchange_config, inputs.campaigns);
+  if (event_log != nullptr) {
+    exchange.ledger().set_observer(event_log);
+  }
+  PadServer server(config, clients, exchange, config.seed ^ 0xad5e17ull, event_log);
+
+  // --- Wire the event streams -------------------------------------------
+  Simulator sim;
+  PadRunResult result;
+  result.scored_days = (horizon - t0) / kDay;
+
+  // Epoch (and window-rollover) events, scheduled first so they run before
+  // same-instant client events.
+  int epoch_index = 0;
+  for (double t = t0; t + config.deadline_s <= horizon + 1e-9; t += epoch_s, ++epoch_index) {
+    const int k = epoch_index;
+    sim.ScheduleAt(t, [&, t, k] {
+      if (k % epochs_per_window == 0) {
+        const int abs_window = warmup_windows + k / epochs_per_window;
+        for (auto& client : clients) {
+          client->StartWindow(t, abs_window);
+        }
+      }
+      server.RunEpoch(t);
+    });
+  }
+  PAD_CHECK_MSG(epoch_index > 0, "no epochs fit between warmup and horizon");
+
+  // Client feeds: scored-phase slots and content transfers.
+  const Population scored = FilterPopulation(inputs.population, t0);
+  WorkloadOptions options;
+  options.on_demand_ads = false;
+  options.app_content = true;
+
+  std::vector<ClientFeed> feeds(clients.size());
+  for (size_t c = 0; c < clients.size(); ++c) {
+    const UserWorkload workload = ExpandUser(inputs.catalog, scored.users[c], options);
+    result.energy.local_j += workload.local_energy_j;
+
+    ClientFeed& feed = feeds[c];
+    feed.events.reserve(workload.slots.size() + workload.transfers.size());
+    for (const SlotEvent& slot : workload.slots) {
+      feed.events.push_back(FeedEvent{slot.time, true, {}});
+    }
+    for (const Transfer& transfer : workload.transfers) {
+      feed.events.push_back(FeedEvent{transfer.request_time, false, transfer});
+    }
+    std::sort(feed.events.begin(), feed.events.end(),
+              [](const FeedEvent& a, const FeedEvent& b) { return a.time < b.time; });
+    ScheduleNextFeedEvent(sim, feed, *clients[c], exchange, result.service);
+  }
+
+  sim.RunUntil(horizon);
+
+  // --- Close out ----------------------------------------------------------
+  exchange.ledger().ExpireDeadlines(horizon + config.deadline_s);
+  server.FinalizeCalibration();
+  for (auto& client : clients) {
+    client->FinishRadio(horizon);
+    result.energy.radio.Merge(client->radio_report());
+    result.service.expired_cache_drops += client->cache().expired_drops();
+  }
+  result.ledger = exchange.ledger().totals();
+  result.impressions_sold = server.impressions_sold();
+  result.impressions_dispatched = server.impressions_dispatched();
+  result.calibration = server.calibration();
+  return result;
+}
+
+Comparison RunComparison(const PadConfig& config) {
+  const SimInputs inputs = GenerateInputs(config);
+  Comparison comparison;
+  comparison.baseline = RunBaseline(config, inputs);
+  comparison.pad = RunPad(config, inputs);
+  return comparison;
+}
+
+PadConfig QuickConfig() {
+  PadConfig config;
+  config.population.num_users = 40;
+  config.population.horizon_s = 10.0 * kDay;
+  config.warmup_days = 7;
+  config.prediction_window_s = 1.0 * kHour;
+  config.campaigns.arrivals_per_day = 50.0;
+  return config;
+}
+
+}  // namespace pad

@@ -1,0 +1,30 @@
+// WiFi availability model for the dual-radio offload extension.
+//
+// The paper's traces are cellular; its discussion (and every deployment
+// since) notes that prefetching pairs naturally with WiFi: bulk transfers
+// can wait for a cheap radio, while the baseline's display-time fetches
+// cannot. We model "home WiFi": each user has WiFi during a nightly window
+// (evening through morning), jittered per user so the population does not
+// switch in lockstep.
+#ifndef ADPAD_SRC_CORE_WIFI_POLICY_H_
+#define ADPAD_SRC_CORE_WIFI_POLICY_H_
+
+namespace pad {
+
+struct WifiPolicy {
+  bool enabled = false;
+  // Nightly home window in hours-of-day; wraps past midnight when
+  // start > end (the default: 19:00 - 08:00).
+  double home_start_h = 19.0;
+  double home_end_h = 8.0;
+  // Per-user uniform jitter applied to both edges, in hours.
+  double jitter_h = 1.0;
+};
+
+// Whether client `client_id` has WiFi at absolute trace time `t`.
+// Deterministic in (policy, client_id).
+bool WifiAvailableAt(const WifiPolicy& policy, int client_id, double t);
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_CORE_WIFI_POLICY_H_

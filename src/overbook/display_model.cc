@@ -1,0 +1,50 @@
+#include "src/overbook/display_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/overbook/poisson_binomial.h"
+
+namespace pad {
+
+double DisplayProbability(const ClientSlotEstimate& estimate, double deadline_s) {
+  PAD_CHECK(estimate.slots_per_s >= 0.0);
+  PAD_CHECK(estimate.var_per_s >= 0.0);
+  PAD_CHECK(estimate.queue_ahead >= 0);
+  PAD_CHECK(deadline_s >= 0.0);
+  const double mean = estimate.slots_per_s * deadline_s;
+  const double variance = estimate.var_per_s * deadline_s;
+  return OverdispersedTailGeq(mean, variance, estimate.queue_ahead + 1);
+}
+
+double DiscountedDisplayProbability(const ClientSlotEstimate& estimate, double deadline_s,
+                                    double confidence_discount) {
+  PAD_CHECK(confidence_discount >= 0.0 && confidence_discount <= 1.0);
+  return std::clamp(DisplayProbability(estimate, deadline_s) * confidence_discount, 0.0, 1.0);
+}
+
+int ConfidentCapacity(const ClientSlotEstimate& estimate, double deadline_s, double confidence) {
+  PAD_CHECK(confidence > 0.0 && confidence < 1.0);
+  const double mean = estimate.slots_per_s * deadline_s;
+  const double variance = estimate.var_per_s * deadline_s;
+  // P(X >= q) is decreasing in q, so binary-search the largest q that still
+  // clears the bar. A linear walk is O(capacity^2) in tail evaluations and
+  // melts down when a noisy predictor reports a huge mean.
+  int lo = 0;  // Invariant: P(X >= lo) >= confidence (trivially, P >= 0).
+  int hi = static_cast<int>(mean + 10.0 * std::sqrt(variance + 1.0)) + 2;
+  while (OverdispersedTailGeq(mean, variance, hi) >= confidence) {
+    hi *= 2;  // Defensive: the bound above should already fail.
+  }
+  while (lo + 1 < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (OverdispersedTailGeq(mean, variance, mid) >= confidence) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace pad

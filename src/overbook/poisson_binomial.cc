@@ -1,0 +1,152 @@
+#include "src/overbook/poisson_binomial.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace pad {
+
+std::vector<double> PoissonBinomialPmf(std::span<const double> probs) {
+  std::vector<double> pmf(1, 1.0);
+  pmf.reserve(probs.size() + 1);
+  for (double p : probs) {
+    PAD_CHECK(p >= 0.0 && p <= 1.0);
+    pmf.push_back(0.0);
+    // Convolve in place, high index first so each trial is used once.
+    for (size_t i = pmf.size() - 1; i > 0; --i) {
+      pmf[i] = pmf[i] * (1.0 - p) + pmf[i - 1] * p;
+    }
+    pmf[0] *= (1.0 - p);
+  }
+  return pmf;
+}
+
+double PoissonBinomialTailGeq(std::span<const double> probs, int k) {
+  if (k <= 0) {
+    return 1.0;
+  }
+  if (k > static_cast<int>(probs.size())) {
+    return 0.0;
+  }
+  const std::vector<double> pmf = PoissonBinomialPmf(probs);
+  // Sum the smaller side for accuracy.
+  if (k <= static_cast<int>(pmf.size()) / 2) {
+    double below = 0.0;
+    for (int i = 0; i < k; ++i) {
+      below += pmf[static_cast<size_t>(i)];
+    }
+    return std::clamp(1.0 - below, 0.0, 1.0);
+  }
+  double tail = 0.0;
+  for (size_t i = static_cast<size_t>(k); i < pmf.size(); ++i) {
+    tail += pmf[i];
+  }
+  return std::clamp(tail, 0.0, 1.0);
+}
+
+double PoissonBinomialMean(std::span<const double> probs) {
+  double mean = 0.0;
+  for (double p : probs) {
+    mean += p;
+  }
+  return mean;
+}
+
+double PoissonBinomialVariance(std::span<const double> probs) {
+  double variance = 0.0;
+  for (double p : probs) {
+    variance += p * (1.0 - p);
+  }
+  return variance;
+}
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double PoissonBinomialTailGeqNormal(std::span<const double> probs, int k) {
+  if (k <= 0) {
+    return 1.0;
+  }
+  if (k > static_cast<int>(probs.size())) {
+    return 0.0;
+  }
+  const double mean = PoissonBinomialMean(probs);
+  const double variance = PoissonBinomialVariance(probs);
+  if (variance <= 0.0) {
+    return mean >= static_cast<double>(k) ? 1.0 : 0.0;
+  }
+  // Continuity-corrected: P(X >= k) ~= P(Z >= (k - 0.5 - mean) / sd).
+  const double z = (static_cast<double>(k) - 0.5 - mean) / std::sqrt(variance);
+  return 1.0 - NormalCdf(z);
+}
+
+double BinomialTailGeq(int n, double p, int k) {
+  PAD_CHECK(n >= 0);
+  PAD_CHECK(p >= 0.0 && p <= 1.0);
+  if (k <= 0) {
+    return 1.0;
+  }
+  if (k > n) {
+    return 0.0;
+  }
+  // Sum P(X < k) with the multiplicative pmf recursion from P(X = 0).
+  double pmf = std::pow(1.0 - p, n);
+  double below = 0.0;
+  if (p == 1.0) {
+    return 1.0;  // All trials succeed; k <= n already checked.
+  }
+  for (int i = 0; i < k; ++i) {
+    below += pmf;
+    pmf *= static_cast<double>(n - i) / static_cast<double>(i + 1) * (p / (1.0 - p));
+  }
+  return std::clamp(1.0 - below, 0.0, 1.0);
+}
+
+double OverdispersedTailGeq(double mean, double variance, int k) {
+  PAD_CHECK(mean >= 0.0);
+  PAD_CHECK(variance >= 0.0);
+  if (k <= 0) {
+    return 1.0;
+  }
+  if (mean == 0.0) {
+    return 0.0;
+  }
+  if (variance < 1e-9) {
+    // Deterministic count.
+    return mean >= static_cast<double>(k) ? 1.0 : 0.0;
+  }
+  if (variance <= mean) {
+    return PoissonTailGeq(mean, k);
+  }
+  // Negative binomial parameterized by mean m and variance v > m:
+  //   p = m / v,  r = m^2 / (v - m),  pmf(0) = p^r,
+  //   pmf(i+1) = pmf(i) * (i + r) / (i + 1) * (1 - p).
+  const double p = mean / variance;
+  const double r = mean * mean / (variance - mean);
+  double pmf = std::pow(p, r);
+  double below = 0.0;
+  for (int i = 0; i < k; ++i) {
+    below += pmf;
+    pmf *= (static_cast<double>(i) + r) / (static_cast<double>(i) + 1.0) * (1.0 - p);
+  }
+  return std::clamp(1.0 - below, 0.0, 1.0);
+}
+
+double PoissonTailGeq(double lambda, int k) {
+  PAD_CHECK(lambda >= 0.0);
+  if (k <= 0) {
+    return 1.0;
+  }
+  if (lambda == 0.0) {
+    return 0.0;
+  }
+  double pmf = std::exp(-lambda);
+  double below = 0.0;
+  for (int i = 0; i < k; ++i) {
+    below += pmf;
+    pmf *= lambda / static_cast<double>(i + 1);
+  }
+  return std::clamp(1.0 - below, 0.0, 1.0);
+}
+
+}  // namespace pad

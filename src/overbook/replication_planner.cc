@@ -1,0 +1,92 @@
+#include "src/overbook/replication_planner.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.h"
+#include "src/overbook/poisson_binomial.h"
+
+namespace pad {
+namespace {
+
+// Candidate order: descending probability, index ascending for determinism.
+std::vector<int> SortedCandidateOrder(std::span<const double> probs) {
+  std::vector<int> order(probs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return probs[static_cast<size_t>(a)] > probs[static_cast<size_t>(b)];
+  });
+  return order;
+}
+
+}  // namespace
+
+ReplicationPlanner::ReplicationPlanner(PlannerConfig config) : config_(config) {
+  PAD_CHECK(config_.sla_target > 0.0 && config_.sla_target < 1.0);
+  PAD_CHECK(config_.max_replicas >= 1);
+  PAD_CHECK(config_.confidence_discount > 0.0 && config_.confidence_discount <= 1.0);
+}
+
+double ReplicationPlanner::Tail(std::span<const double> probs, int k) const {
+  return config_.exact_tail ? PoissonBinomialTailGeq(probs, k)
+                            : PoissonBinomialTailGeqNormal(probs, k);
+}
+
+ReplicaPlan ReplicationPlanner::PlanToTarget(std::span<const double> candidate_probs,
+                                             int needed) const {
+  PAD_CHECK(needed >= 1);
+  const std::vector<int> order = SortedCandidateOrder(candidate_probs);
+
+  ReplicaPlan plan;
+  std::vector<double> chosen_probs;
+  for (int index : order) {
+    if (plan.replicas() >= config_.max_replicas) {
+      break;
+    }
+    double p = candidate_probs[static_cast<size_t>(index)] * config_.confidence_discount;
+    p = std::clamp(p, 0.0, 1.0);
+    if (p <= 0.0) {
+      break;  // Sorted order: everything after is zero too.
+    }
+    plan.chosen.push_back(index);
+    chosen_probs.push_back(p);
+    plan.success_probability = Tail(chosen_probs, needed);
+    if (plan.success_probability >= config_.sla_target) {
+      break;
+    }
+  }
+  plan.expected_excess =
+      std::max(0.0, PoissonBinomialMean(chosen_probs) - static_cast<double>(needed));
+  return plan;
+}
+
+ReplicaPlan ReplicationPlanner::PlanWithFactor(std::span<const double> candidate_probs,
+                                               int needed, double overbooking_factor) const {
+  PAD_CHECK(needed >= 1);
+  PAD_CHECK(overbooking_factor > 0.0);
+  const std::vector<int> order = SortedCandidateOrder(candidate_probs);
+  const double target_mass = overbooking_factor * static_cast<double>(needed);
+
+  ReplicaPlan plan;
+  std::vector<double> chosen_probs;
+  double mass = 0.0;
+  for (int index : order) {
+    if (plan.replicas() >= config_.max_replicas || mass >= target_mass) {
+      break;
+    }
+    double p = candidate_probs[static_cast<size_t>(index)] * config_.confidence_discount;
+    p = std::clamp(p, 0.0, 1.0);
+    if (p <= 0.0) {
+      break;
+    }
+    plan.chosen.push_back(index);
+    chosen_probs.push_back(p);
+    mass += p;
+  }
+  plan.success_probability = Tail(chosen_probs, needed);
+  plan.expected_excess =
+      std::max(0.0, PoissonBinomialMean(chosen_probs) - static_cast<double>(needed));
+  return plan;
+}
+
+}  // namespace pad

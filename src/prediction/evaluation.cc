@@ -1,0 +1,48 @@
+#include "src/prediction/evaluation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace pad {
+
+PredictionEval EvaluatePredictor(SlotPredictor& predictor, std::span<const int> series,
+                                 int warmup_windows) {
+  PAD_CHECK(warmup_windows >= 0);
+  PredictionEval eval;
+  int over = 0;
+  int under = 0;
+  double squared_error = 0.0;
+
+  for (int w = 0; w < static_cast<int>(series.size()); ++w) {
+    const double prediction = std::max(0.0, predictor.Predict(w));
+    const int actual = series[static_cast<size_t>(w)];
+    predictor.Observe(w, actual);
+    if (w < warmup_windows) {
+      continue;
+    }
+    ++eval.windows_scored;
+    const double error = prediction - static_cast<double>(actual);
+    eval.abs_error.Add(std::fabs(error));
+    eval.signed_error.Add(error);
+    eval.relative_error.Add(std::fabs(error) / std::max(actual, 1));
+    squared_error += error * error;
+    if (error > 0.5) {
+      ++over;
+    } else if (error < -0.5) {
+      ++under;
+    }
+    eval.total_predicted += prediction;
+    eval.total_actual += actual;
+  }
+
+  if (eval.windows_scored > 0) {
+    eval.over_rate = static_cast<double>(over) / eval.windows_scored;
+    eval.under_rate = static_cast<double>(under) / eval.windows_scored;
+    eval.rmse = std::sqrt(squared_error / eval.windows_scored);
+  }
+  return eval;
+}
+
+}  // namespace pad

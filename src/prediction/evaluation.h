@@ -1,0 +1,39 @@
+// Predictor scoring: runs a predictor over a slot series under the online
+// protocol and accumulates the error statistics E4 reports.
+#ifndef ADPAD_SRC_PREDICTION_EVALUATION_H_
+#define ADPAD_SRC_PREDICTION_EVALUATION_H_
+
+#include <span>
+
+#include "src/common/stats.h"
+#include "src/prediction/predictor.h"
+
+namespace pad {
+
+struct PredictionEval {
+  int windows_scored = 0;
+
+  SampleSet abs_error;     // |pred - actual| per scored window.
+  SampleSet signed_error;  // pred - actual (positive = over-prediction).
+  // |pred - actual| / max(actual, 1): scale-free error across users of very
+  // different activity levels.
+  SampleSet relative_error;
+
+  double over_rate = 0.0;   // Fraction of windows with pred > actual.
+  double under_rate = 0.0;  // Fraction with pred < actual.
+  double rmse = 0.0;
+
+  // Totals, for aggregate over/under-provisioning rates.
+  double total_predicted = 0.0;
+  double total_actual = 0.0;
+};
+
+// Replays `series` through `predictor`: for each window, Predict() then
+// Observe(). The first `warmup_windows` windows train the model but are not
+// scored. Per-window predictions are clamped at zero before scoring.
+PredictionEval EvaluatePredictor(SlotPredictor& predictor, std::span<const int> series,
+                                 int warmup_windows);
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_PREDICTION_EVALUATION_H_

@@ -1,0 +1,39 @@
+// Online slot-count predictor interface.
+//
+// Protocol: for each window w in order, the harness first calls Predict(w)
+// (the forecast the ad system would act on), then Observe(w, actual) once the
+// window has elapsed. Implementations must not peek at observations for
+// windows >= w when predicting w — the Oracle variants, which exist only as
+// experimental upper bounds, are the documented exception.
+#ifndef ADPAD_SRC_PREDICTION_PREDICTOR_H_
+#define ADPAD_SRC_PREDICTION_PREDICTOR_H_
+
+#include <memory>
+#include <string>
+
+namespace pad {
+
+class SlotPredictor {
+ public:
+  virtual ~SlotPredictor() = default;
+
+  // Forecast for window `window_index` (may be fractional; consumers round
+  // or feed it to the overbooking model as a rate). Never negative.
+  virtual double Predict(int window_index) = 0;
+
+  // Forecast of the slot count's *variance* for the window. The overbooking
+  // model needs second moments: slots arrive in session bursts, so counts
+  // are overdispersed and a mean-only model is overconfident. The default is
+  // the Poisson assumption (variance == mean); predictors with history
+  // estimate it empirically.
+  virtual double PredictVariance(int window_index) { return Predict(window_index); }
+
+  // Ground truth for a window whose Predict() has already been consumed.
+  virtual void Observe(int window_index, int count) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_PREDICTION_PREDICTOR_H_

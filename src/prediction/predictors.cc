@@ -1,0 +1,341 @@
+#include "src/prediction/predictors.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/stats.h"
+
+namespace pad {
+
+double LastValuePredictor::Predict(int /*window_index*/) { return last_; }
+
+void LastValuePredictor::Observe(int /*window_index*/, int count) {
+  PAD_DCHECK(count >= 0);
+  last_ = count;
+}
+
+SlidingMeanPredictor::SlidingMeanPredictor(int history) : history_(static_cast<size_t>(history)) {
+  PAD_CHECK(history > 0);
+}
+
+double SlidingMeanPredictor::Predict(int /*window_index*/) {
+  if (window_.empty()) {
+    return 0.0;
+  }
+  return sum_ / static_cast<double>(window_.size());
+}
+
+void SlidingMeanPredictor::Observe(int /*window_index*/, int count) {
+  PAD_DCHECK(count >= 0);
+  window_.push_back(count);
+  sum_ += count;
+  if (window_.size() > history_) {
+    sum_ -= window_.front();
+    window_.pop_front();
+  }
+}
+
+double SlidingMeanPredictor::PredictVariance(int /*window_index*/) {
+  if (window_.size() < 2) {
+    return Predict(0);  // Poisson fallback until there is history.
+  }
+  const double mean = sum_ / static_cast<double>(window_.size());
+  double m2 = 0.0;
+  for (int count : window_) {
+    m2 += (count - mean) * (count - mean);
+  }
+  return m2 / static_cast<double>(window_.size() - 1);
+}
+
+std::string SlidingMeanPredictor::name() const {
+  return "sliding_mean_" + std::to_string(history_);
+}
+
+EwmaPredictor::EwmaPredictor(double alpha) : alpha_(alpha) {
+  PAD_CHECK(alpha > 0.0 && alpha <= 1.0);
+}
+
+double EwmaPredictor::Predict(int /*window_index*/) { return seeded_ ? value_ : 0.0; }
+
+double EwmaPredictor::PredictVariance(int window_index) {
+  return seeded_ ? std::max(variance_, 0.0) : Predict(window_index);
+}
+
+void EwmaPredictor::Observe(int /*window_index*/, int count) {
+  PAD_DCHECK(count >= 0);
+  if (!seeded_) {
+    value_ = count;
+    variance_ = count;  // Poisson prior until deviations are observed.
+    seeded_ = true;
+  } else {
+    const double deviation = static_cast<double>(count) - value_;
+    variance_ = alpha_ * deviation * deviation + (1.0 - alpha_) * variance_;
+    value_ = alpha_ * static_cast<double>(count) + (1.0 - alpha_) * value_;
+  }
+}
+
+std::string EwmaPredictor::name() const { return "ewma_" + FormatDouble(alpha_, 2); }
+
+TimeOfDayPredictor::TimeOfDayPredictor(int windows_per_day, double alpha, std::string label)
+    : windows_per_day_(windows_per_day),
+      alpha_(alpha),
+      label_(std::move(label)),
+      value_(static_cast<size_t>(windows_per_day), 0.0),
+      variance_(static_cast<size_t>(windows_per_day), 0.0),
+      seeded_(static_cast<size_t>(windows_per_day), false) {
+  PAD_CHECK(windows_per_day > 0);
+  PAD_CHECK(alpha > 0.0 && alpha <= 1.0);
+}
+
+double TimeOfDayPredictor::Predict(int window_index) {
+  const size_t slot = static_cast<size_t>(window_index % windows_per_day_);
+  if (seeded_[slot]) {
+    return value_[slot];
+  }
+  return global_seeded_ ? global_ : 0.0;
+}
+
+double TimeOfDayPredictor::PredictVariance(int window_index) {
+  const size_t slot = static_cast<size_t>(window_index % windows_per_day_);
+  if (seeded_[slot]) {
+    return std::max(variance_[slot], 0.0);
+  }
+  return global_seeded_ ? std::max(global_variance_, 0.0) : Predict(window_index);
+}
+
+void TimeOfDayPredictor::Observe(int window_index, int count) {
+  PAD_DCHECK(count >= 0);
+  const size_t slot = static_cast<size_t>(window_index % windows_per_day_);
+  if (!seeded_[slot]) {
+    value_[slot] = count;
+    variance_[slot] = count;  // Poisson prior until deviations are observed.
+    seeded_[slot] = true;
+  } else {
+    const double deviation = static_cast<double>(count) - value_[slot];
+    variance_[slot] = alpha_ * deviation * deviation + (1.0 - alpha_) * variance_[slot];
+    value_[slot] = alpha_ * static_cast<double>(count) + (1.0 - alpha_) * value_[slot];
+  }
+  if (!global_seeded_) {
+    global_ = count;
+    global_variance_ = count;
+    global_seeded_ = true;
+  } else {
+    const double deviation = static_cast<double>(count) - global_;
+    global_variance_ = alpha_ * deviation * deviation + (1.0 - alpha_) * global_variance_;
+    global_ = alpha_ * static_cast<double>(count) + (1.0 - alpha_) * global_;
+  }
+}
+
+std::string TimeOfDayPredictor::name() const { return label_ + "_" + FormatDouble(alpha_, 2); }
+
+MarkovPredictor::MarkovPredictor() = default;
+
+int MarkovPredictor::BucketOf(int count) {
+  if (count <= 2) {
+    return count < 0 ? 0 : count;
+  }
+  if (count <= 4) {
+    return 3;
+  }
+  if (count <= 8) {
+    return 4;
+  }
+  if (count <= 16) {
+    return 5;
+  }
+  return 6;
+}
+
+double MarkovPredictor::Predict(int /*window_index*/) {
+  if (!seeded_) {
+    return 0.0;
+  }
+  const NextStats& stats = next_[last_bucket_].n > 0 ? next_[last_bucket_] : global_;
+  return stats.n > 0 ? stats.mean : 0.0;
+}
+
+double MarkovPredictor::PredictVariance(int window_index) {
+  if (!seeded_) {
+    return 0.0;
+  }
+  const NextStats& stats = next_[last_bucket_].n > 1 ? next_[last_bucket_] : global_;
+  if (stats.n > 1) {
+    return stats.m2 / static_cast<double>(stats.n - 1);
+  }
+  return Predict(window_index);  // Poisson fallback.
+}
+
+void MarkovPredictor::Observe(int /*window_index*/, int count) {
+  PAD_DCHECK(count >= 0);
+  if (seeded_) {
+    auto update = [count](NextStats& stats) {
+      ++stats.n;
+      const double delta = static_cast<double>(count) - stats.mean;
+      stats.mean += delta / static_cast<double>(stats.n);
+      stats.m2 += delta * (static_cast<double>(count) - stats.mean);
+    };
+    update(next_[last_bucket_]);
+    update(global_);
+  }
+  last_bucket_ = BucketOf(count);
+  seeded_ = true;
+}
+
+QuantilePredictor::QuantilePredictor(int windows_per_day, double quantile, int max_history_days)
+    : windows_per_day_(windows_per_day),
+      quantile_(quantile),
+      max_history_(static_cast<size_t>(max_history_days)),
+      history_(static_cast<size_t>(windows_per_day)) {
+  PAD_CHECK(windows_per_day > 0);
+  PAD_CHECK(quantile >= 0.0 && quantile <= 1.0);
+  PAD_CHECK(max_history_days > 0);
+}
+
+double QuantilePredictor::Predict(int window_index) {
+  const auto& hist = history_[static_cast<size_t>(window_index % windows_per_day_)];
+  if (hist.empty()) {
+    return 0.0;
+  }
+  std::vector<int> sorted(hist.begin(), hist.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = quantile_ * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return static_cast<double>(sorted[lo]) * (1.0 - frac) + static_cast<double>(sorted[hi]) * frac;
+}
+
+double QuantilePredictor::PredictVariance(int window_index) {
+  const auto& hist = history_[static_cast<size_t>(window_index % windows_per_day_)];
+  if (hist.size() < 2) {
+    return Predict(window_index);
+  }
+  double mean = 0.0;
+  for (int count : hist) {
+    mean += count;
+  }
+  mean /= static_cast<double>(hist.size());
+  double m2 = 0.0;
+  for (int count : hist) {
+    m2 += (count - mean) * (count - mean);
+  }
+  return m2 / static_cast<double>(hist.size() - 1);
+}
+
+void QuantilePredictor::Observe(int window_index, int count) {
+  PAD_DCHECK(count >= 0);
+  auto& hist = history_[static_cast<size_t>(window_index % windows_per_day_)];
+  hist.push_back(count);
+  if (hist.size() > max_history_) {
+    hist.pop_front();
+  }
+}
+
+std::string QuantilePredictor::name() const { return "quantile_" + FormatDouble(quantile_, 2); }
+
+OraclePredictor::OraclePredictor(std::vector<int> truth) : truth_(std::move(truth)) {}
+
+double OraclePredictor::Predict(int window_index) {
+  PAD_CHECK(window_index >= 0);
+  if (window_index >= static_cast<int>(truth_.size())) {
+    return 0.0;
+  }
+  return truth_[static_cast<size_t>(window_index)];
+}
+
+void OraclePredictor::Observe(int /*window_index*/, int /*count*/) {}
+
+NoisyOraclePredictor::NoisyOraclePredictor(std::vector<int> truth, double noise_sigma,
+                                           uint64_t seed)
+    : truth_(std::move(truth)), sigma_(noise_sigma), rng_(seed) {
+  PAD_CHECK(noise_sigma >= 0.0);
+}
+
+double NoisyOraclePredictor::Predict(int window_index) {
+  PAD_CHECK(window_index >= 0);
+  if (window_index >= static_cast<int>(truth_.size())) {
+    return 0.0;
+  }
+  const double truth = truth_[static_cast<size_t>(window_index)];
+  if (sigma_ == 0.0) {
+    return truth;
+  }
+  // Mean-preserving multiplicative noise.
+  return truth * rng_.LogNormal(-sigma_ * sigma_ / 2.0, sigma_);
+}
+
+double NoisyOraclePredictor::PredictVariance(int window_index) {
+  PAD_CHECK(window_index >= 0);
+  if (window_index >= static_cast<int>(truth_.size())) {
+    return 0.0;
+  }
+  const double truth = truth_[static_cast<size_t>(window_index)];
+  // Var[truth * LogNormal] for the mean-preserving noise in Predict().
+  return truth * truth * (std::exp(sigma_ * sigma_) - 1.0);
+}
+
+void NoisyOraclePredictor::Observe(int /*window_index*/, int /*count*/) {}
+
+std::string NoisyOraclePredictor::name() const {
+  return "noisy_oracle_" + FormatDouble(sigma_, 2);
+}
+
+const char* PredictorKindName(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::kLastValue:
+      return "last_value";
+    case PredictorKind::kSlidingMean:
+      return "sliding_mean";
+    case PredictorKind::kEwma:
+      return "ewma";
+    case PredictorKind::kTimeOfDay:
+      return "time_of_day";
+    case PredictorKind::kDayOfWeek:
+      return "day_of_week";
+    case PredictorKind::kMarkov:
+      return "markov";
+    case PredictorKind::kQuantileConservative:
+      return "quantile_0.25";
+    case PredictorKind::kQuantileMedian:
+      return "quantile_0.50";
+    case PredictorKind::kQuantileAggressive:
+      return "quantile_0.75";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<SlotPredictor> MakePredictor(PredictorKind kind, int windows_per_day) {
+  switch (kind) {
+    case PredictorKind::kLastValue:
+      return std::make_unique<LastValuePredictor>();
+    case PredictorKind::kSlidingMean:
+      return std::make_unique<SlidingMeanPredictor>(windows_per_day);
+    case PredictorKind::kEwma:
+      return std::make_unique<EwmaPredictor>(0.3);
+    case PredictorKind::kTimeOfDay:
+      return std::make_unique<TimeOfDayPredictor>(windows_per_day, 0.3);
+    case PredictorKind::kDayOfWeek:
+      return std::make_unique<TimeOfDayPredictor>(7 * windows_per_day, 0.3, "day_of_week");
+    case PredictorKind::kMarkov:
+      return std::make_unique<MarkovPredictor>();
+    case PredictorKind::kQuantileConservative:
+      return std::make_unique<QuantilePredictor>(windows_per_day, 0.25);
+    case PredictorKind::kQuantileMedian:
+      return std::make_unique<QuantilePredictor>(windows_per_day, 0.50);
+    case PredictorKind::kQuantileAggressive:
+      return std::make_unique<QuantilePredictor>(windows_per_day, 0.75);
+  }
+  PAD_CHECK_MSG(false, "unknown predictor kind");
+  return nullptr;
+}
+
+std::vector<PredictorKind> AllPredictorKinds() {
+  return {PredictorKind::kLastValue,            PredictorKind::kSlidingMean,
+          PredictorKind::kEwma,                 PredictorKind::kTimeOfDay,
+          PredictorKind::kDayOfWeek,            PredictorKind::kMarkov,
+          PredictorKind::kQuantileConservative, PredictorKind::kQuantileMedian,
+          PredictorKind::kQuantileAggressive};
+}
+
+}  // namespace pad

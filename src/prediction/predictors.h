@@ -1,0 +1,194 @@
+// The predictor zoo evaluated in E4, spanning the design space the paper
+// explores: memoryless (last value), smoothing (sliding mean, EWMA),
+// seasonality-aware (time-of-day), risk-shaped (quantile), and the oracle
+// upper bounds.
+#ifndef ADPAD_SRC_PREDICTION_PREDICTORS_H_
+#define ADPAD_SRC_PREDICTION_PREDICTORS_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/prediction/predictor.h"
+
+namespace pad {
+
+// Predicts the previous window's count.
+class LastValuePredictor : public SlotPredictor {
+ public:
+  double Predict(int window_index) override;
+  void Observe(int window_index, int count) override;
+  std::string name() const override { return "last_value"; }
+
+ private:
+  double last_ = 0.0;
+};
+
+// Mean of the last `history` windows.
+class SlidingMeanPredictor : public SlotPredictor {
+ public:
+  explicit SlidingMeanPredictor(int history);
+
+  double Predict(int window_index) override;
+  double PredictVariance(int window_index) override;
+  void Observe(int window_index, int count) override;
+  std::string name() const override;
+
+ private:
+  size_t history_;
+  std::deque<int> window_;
+  double sum_ = 0.0;
+};
+
+// Exponentially weighted moving average over consecutive windows.
+class EwmaPredictor : public SlotPredictor {
+ public:
+  explicit EwmaPredictor(double alpha);
+
+  double Predict(int window_index) override;
+  double PredictVariance(int window_index) override;
+  void Observe(int window_index, int count) override;
+  std::string name() const override;
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  double variance_ = 0.0;
+  bool seeded_ = false;
+};
+
+// Per-window-of-day EWMA across days: the paper-style seasonal model. The
+// forecast for Tuesday 18:00-21:00 is a smoothed average of previous days'
+// 18:00-21:00 windows. Constructing with windows_per_day * 7 (and the
+// "day_of_week" label) gives the weekly-seasonal variant that separates
+// weekday from weekend behaviour.
+class TimeOfDayPredictor : public SlotPredictor {
+ public:
+  TimeOfDayPredictor(int windows_per_day, double alpha,
+                     std::string label = "time_of_day");
+
+  double Predict(int window_index) override;
+  double PredictVariance(int window_index) override;
+  void Observe(int window_index, int count) override;
+  std::string name() const override;
+
+ private:
+  int windows_per_day_;
+  double alpha_;
+  std::string label_;
+  std::vector<double> value_;
+  std::vector<double> variance_;
+  std::vector<bool> seeded_;
+  // Cross-window fallback for slots of day never seen yet.
+  double global_ = 0.0;
+  double global_variance_ = 0.0;
+  bool global_seeded_ = false;
+};
+
+// First-order Markov model over bucketized counts: learns the transition
+// structure between consecutive windows ("a quiet hour follows a quiet
+// hour") plus the mean/variance of the counts reached from each bucket.
+// Captures short-range burst correlation the smoothing predictors miss.
+class MarkovPredictor : public SlotPredictor {
+ public:
+  MarkovPredictor();
+
+  double Predict(int window_index) override;
+  double PredictVariance(int window_index) override;
+  void Observe(int window_index, int count) override;
+  std::string name() const override { return "markov"; }
+
+  // Bucket boundaries: 0, 1, 2, 3-4, 5-8, 9-16, 17+.
+  static int BucketOf(int count);
+  static constexpr int kBuckets = 7;
+
+ private:
+  int last_bucket_ = 0;
+  bool seeded_ = false;
+  // Per current-bucket statistics of the *next* window's count.
+  struct NextStats {
+    double mean = 0.0;
+    double m2 = 0.0;
+    int64_t n = 0;
+  };
+  NextStats next_[kBuckets];
+  // Global fallback before a bucket has transitions.
+  NextStats global_;
+};
+
+// Empirical quantile of the same window-of-day over past days. q < 0.5 gives
+// deliberate under-prediction (protects revenue at the cost of energy
+// savings); q > 0.5 over-predicts. This is the knob swept in E7.
+class QuantilePredictor : public SlotPredictor {
+ public:
+  QuantilePredictor(int windows_per_day, double quantile, int max_history_days = 28);
+
+  double Predict(int window_index) override;
+  double PredictVariance(int window_index) override;
+  void Observe(int window_index, int count) override;
+  std::string name() const override;
+
+ private:
+  int windows_per_day_;
+  double quantile_;
+  size_t max_history_;
+  std::vector<std::deque<int>> history_;
+};
+
+// Perfect foresight: returns the true count. Upper bound for E4/E5.
+class OraclePredictor : public SlotPredictor {
+ public:
+  explicit OraclePredictor(std::vector<int> truth);
+
+  double Predict(int window_index) override;
+  // Perfect foresight: zero predictive variance.
+  double PredictVariance(int /*window_index*/) override { return 0.0; }
+  void Observe(int window_index, int count) override;
+  std::string name() const override { return "oracle"; }
+
+ private:
+  std::vector<int> truth_;
+};
+
+// Oracle with controlled multiplicative lognormal noise; the E11 instrument
+// for "how unreliable can the estimate get before overbooking stops coping?".
+class NoisyOraclePredictor : public SlotPredictor {
+ public:
+  NoisyOraclePredictor(std::vector<int> truth, double noise_sigma, uint64_t seed);
+
+  double Predict(int window_index) override;
+  // Variance of the injected multiplicative noise around the true count.
+  double PredictVariance(int window_index) override;
+  void Observe(int window_index, int count) override;
+  std::string name() const override;
+
+ private:
+  std::vector<int> truth_;
+  double sigma_;
+  Rng rng_;
+};
+
+// Named configurations for sweep harnesses.
+enum class PredictorKind {
+  kLastValue,
+  kSlidingMean,
+  kEwma,
+  kTimeOfDay,
+  kDayOfWeek,  // Time-of-day at weekly granularity (weekday vs weekend).
+  kMarkov,
+  kQuantileConservative,  // q = 0.25
+  kQuantileMedian,        // q = 0.50
+  kQuantileAggressive,    // q = 0.75
+};
+
+const char* PredictorKindName(PredictorKind kind);
+
+std::unique_ptr<SlotPredictor> MakePredictor(PredictorKind kind, int windows_per_day);
+
+// Every kind, for "compare all predictors" loops.
+std::vector<PredictorKind> AllPredictorKinds();
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_PREDICTION_PREDICTORS_H_

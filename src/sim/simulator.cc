@@ -1,0 +1,121 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace pad {
+
+EventHandle Simulator::ScheduleAt(double t, Callback fn) {
+  PAD_CHECK_MSG(t >= now_, "cannot schedule an event in the past");
+  PAD_CHECK(fn != nullptr);
+  const uint64_t id = next_seq_++;
+  queue_.push(Entry{t, id, id});
+  callbacks_.emplace(id, std::move(fn));
+  return EventHandle(id);
+}
+
+EventHandle Simulator::ScheduleAfter(double delay, Callback fn) {
+  PAD_CHECK(delay >= 0.0);
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool Simulator::Cancel(EventHandle handle) {
+  if (!handle.valid()) {
+    return false;
+  }
+  const auto it = callbacks_.find(handle.id_);
+  if (it == callbacks_.end()) {
+    return false;  // Already ran or already cancelled.
+  }
+  callbacks_.erase(it);
+  cancelled_.insert(handle.id_);
+  ++cancelled_pending_;
+  return true;
+}
+
+void Simulator::SkimCancelled() {
+  while (!queue_.empty()) {
+    const auto cancelled_it = cancelled_.find(queue_.top().id);
+    if (cancelled_it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(cancelled_it);
+    --cancelled_pending_;
+    queue_.pop();
+  }
+}
+
+void Simulator::RunTop() {
+  const Entry top = queue_.top();
+  queue_.pop();
+  now_ = top.time;
+  auto it = callbacks_.find(top.id);
+  PAD_DCHECK(it != callbacks_.end());
+  Callback fn = std::move(it->second);
+  callbacks_.erase(it);
+  ++executed_;
+  fn();
+}
+
+void Simulator::RunUntil(double until, bool advance_clock_to_until) {
+  PAD_CHECK(until >= now_);
+  for (;;) {
+    SkimCancelled();
+    if (queue_.empty() || queue_.top().time > until) {
+      break;
+    }
+    RunTop();
+  }
+  if (advance_clock_to_until) {
+    now_ = until;
+  }
+}
+
+void Simulator::RunAll() {
+  for (;;) {
+    SkimCancelled();
+    if (queue_.empty()) {
+      return;
+    }
+    RunTop();
+  }
+}
+
+bool Simulator::Step() {
+  SkimCancelled();
+  if (queue_.empty()) {
+    return false;
+  }
+  RunTop();
+  return true;
+}
+
+PeriodicProcess::PeriodicProcess(Simulator& sim, double start, double period,
+                                 std::function<void()> fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  PAD_CHECK(period_ > 0.0);
+  PAD_CHECK(fn_ != nullptr);
+  next_ = sim_.ScheduleAt(start, [this] { Tick(); });
+}
+
+PeriodicProcess::~PeriodicProcess() { Stop(); }
+
+void PeriodicProcess::Stop() {
+  if (running_) {
+    running_ = false;
+    sim_.Cancel(next_);
+  }
+}
+
+void PeriodicProcess::Tick() {
+  if (!running_) {
+    return;
+  }
+  // Re-arm before invoking so fn_ observes a consistent "running" process and
+  // may call Stop() to cancel the upcoming occurrence.
+  next_ = sim_.ScheduleAfter(period_, [this] { Tick(); });
+  fn_();
+}
+
+}  // namespace pad

@@ -1,0 +1,128 @@
+// Discrete-event simulation kernel.
+//
+// The kernel is intentionally small: a monotonically advancing clock and a
+// priority queue of (time, sequence, callback) entries. Ties in time are
+// broken by scheduling order, which makes runs deterministic. Events can be
+// cancelled via the handle returned by Schedule*; cancellation is lazy (the
+// heap entry stays and is skipped on pop), which keeps Schedule/Cancel O(log n)
+// without a secondary index.
+#ifndef ADPAD_SRC_SIM_SIMULATOR_H_
+#define ADPAD_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace pad {
+
+// Opaque handle to a scheduled event. Default-constructed handles are invalid.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(uint64_t id) : id_(id) {}
+  uint64_t id_ = 0;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current simulation time in seconds.
+  double now() const { return now_; }
+
+  // Schedules `fn` at absolute time `t` (must be >= now()).
+  EventHandle ScheduleAt(double t, Callback fn);
+
+  // Schedules `fn` `delay` seconds from now (delay must be >= 0).
+  EventHandle ScheduleAfter(double delay, Callback fn);
+
+  // Cancels a pending event. Returns true if the event was pending (i.e. it
+  // had not yet run or been cancelled).
+  bool Cancel(EventHandle handle);
+
+  // Runs events until the queue is empty or the next event is after `until`.
+  // The clock is left at the time of the last executed event (or `until` if
+  // `advance_clock_to_until` is true, which is what fixed-horizon experiment
+  // drivers want).
+  void RunUntil(double until, bool advance_clock_to_until = true);
+
+  // Runs until the queue drains completely.
+  void RunAll();
+
+  // Executes the single next event, if any. Returns false when idle.
+  bool Step();
+
+  // Number of pending (non-cancelled) events.
+  int64_t pending_events() const { return static_cast<int64_t>(queue_.size()) - cancelled_pending_; }
+
+  // Total events executed since construction.
+  int64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    double time;
+    uint64_t seq;
+    uint64_t id;
+    // Ordered for a min-heap via std::greater.
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops the next live entry and runs it. Precondition: a live entry exists.
+  void RunTop();
+  // Drops cancelled entries from the top of the heap.
+  void SkimCancelled();
+
+  double now_ = 0.0;
+  uint64_t next_seq_ = 1;
+  int64_t executed_ = 0;
+  int64_t cancelled_pending_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<uint64_t> cancelled_;
+  // Callback storage separate from the heap so Entry stays trivially movable.
+  std::unordered_map<uint64_t, Callback> callbacks_;
+};
+
+// Repeats `fn` every `period` seconds starting at `start`. The process stops
+// when the owning object is destroyed or Stop() is called; `fn` may call
+// Stop() on its own process.
+class PeriodicProcess {
+ public:
+  PeriodicProcess(Simulator& sim, double start, double period, std::function<void()> fn);
+  ~PeriodicProcess();
+
+  PeriodicProcess(const PeriodicProcess&) = delete;
+  PeriodicProcess& operator=(const PeriodicProcess&) = delete;
+
+  void Stop();
+  bool running() const { return running_; }
+
+ private:
+  void Tick();
+
+  Simulator& sim_;
+  double period_;
+  std::function<void()> fn_;
+  EventHandle next_;
+  bool running_ = true;
+};
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_SIM_SIMULATOR_H_

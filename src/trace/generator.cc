@@ -1,0 +1,103 @@
+#include "src/trace/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace pad {
+
+std::vector<UserParams> SampleUserParams(const PopulationConfig& config) {
+  PAD_CHECK(config.num_users > 0);
+  PAD_CHECK(config.num_apps > 0);
+  PAD_CHECK(!config.archetypes.empty());
+
+  Rng rng(config.seed);
+  std::vector<double> mixture;
+  mixture.reserve(config.archetypes.size());
+  for (const UserArchetype& archetype : config.archetypes) {
+    mixture.push_back(archetype.weight);
+  }
+
+  std::vector<UserParams> users;
+  users.reserve(static_cast<size_t>(config.num_users));
+  for (int u = 0; u < config.num_users; ++u) {
+    UserParams params;
+    params.user_id = u;
+    params.archetype = rng.WeightedChoice(mixture);
+    const UserArchetype& archetype = config.archetypes[static_cast<size_t>(params.archetype)];
+    params.sessions_per_day =
+        archetype.sessions_per_day * rng.LogNormal(0.0, config.rate_spread_sigma);
+    params.duration_mu = archetype.session_duration_mu;
+    params.duration_sigma = archetype.session_duration_sigma;
+    params.phase_shift_h = rng.Normal(0.0, config.phase_jitter_h);
+    PAD_CHECK(config.num_segments >= 1);
+    params.segment = static_cast<int>(rng.UniformInt(0, config.num_segments - 1));
+    params.app_rank = rng.Permutation(config.num_apps);
+    users.push_back(std::move(params));
+  }
+  return users;
+}
+
+UserTrace GenerateUserTrace(const PopulationConfig& config, const UserParams& params, Rng& rng) {
+  const DiurnalProfile diurnal =
+      config.flat_diurnal ? DiurnalProfile::Flat() : DiurnalProfile::Typical();
+  const ZipfTable app_zipf(config.num_apps, config.app_zipf_exponent);
+  const double sigma = config.day_noise_sigma;
+  const int num_days = static_cast<int>(std::ceil(config.horizon_s / kDay));
+
+  UserTrace trace;
+  trace.user_id = params.user_id;
+  trace.segment = params.segment;
+  for (int day = 0; day < num_days; ++day) {
+    const bool weekend = (day % 7) >= 5;
+    // Mean-1 lognormal day multiplier: E[exp(N(-s^2/2, s))] = 1.
+    double multiplier = rng.LogNormal(-sigma * sigma / 2.0, sigma);
+    double phase = params.phase_shift_h;
+    if (weekend) {
+      multiplier *= config.weekend_rate_multiplier;
+      phase += config.weekend_phase_shift_h;
+    }
+    const int count = rng.Poisson(params.sessions_per_day * multiplier);
+    for (int i = 0; i < count; ++i) {
+      Session session;
+      session.user_id = params.user_id;
+      const double hour = diurnal.SampleHour(rng, phase);
+      session.start_time = static_cast<double>(day) * kDay + hour * kHour;
+      if (session.start_time >= config.horizon_s) {
+        continue;
+      }
+      double duration = rng.LogNormal(params.duration_mu, params.duration_sigma);
+      duration = std::clamp(duration, config.min_session_s, config.max_session_s);
+      // Clip at the horizon so downstream consumers never see events past it.
+      duration = std::min(duration, config.horizon_s - session.start_time);
+      session.duration_s = duration;
+      // The user's preference rank maps the Zipf draw onto a concrete app id.
+      const int rank = app_zipf.Sample(rng);
+      session.app_id = params.app_rank[static_cast<size_t>(rank)];
+      trace.sessions.push_back(session);
+    }
+  }
+  std::sort(trace.sessions.begin(), trace.sessions.end(),
+            [](const Session& a, const Session& b) { return a.start_time < b.start_time; });
+  return trace;
+}
+
+Population GeneratePopulation(const PopulationConfig& config) {
+  PAD_CHECK(config.horizon_s > 0.0);
+  const std::vector<UserParams> params = SampleUserParams(config);
+
+  // Each user gets a forked RNG so one user's draws never perturb another's
+  // (adding a user leaves existing users' traces unchanged).
+  Rng root(config.seed ^ 0xda7a5eedull);
+  Population population;
+  population.horizon_s = config.horizon_s;
+  population.users.reserve(params.size());
+  for (const UserParams& user : params) {
+    Rng user_rng = root.Fork();
+    population.users.push_back(GenerateUserTrace(config, user, user_rng));
+  }
+  return population;
+}
+
+}  // namespace pad

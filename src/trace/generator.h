@@ -1,0 +1,74 @@
+// Synthetic population generator.
+//
+// Substitutes the paper's proprietary usage traces (see DESIGN.md §2). The
+// generative model, per user:
+//
+//   archetype a  ~ mixture(DefaultArchetypes)
+//   base rate λ  = a.sessions_per_day · LogNormal(0, rate_spread_sigma)
+//   phase φ      ~ Normal(0, phase_jitter_h)
+//   app ranks    = per-user permutation of the catalog, sampled Zipf(s)
+//   per day d:   activity multiplier m_d ~ LogNormal(-σ²/2, σ)   (mean 1)
+//                count N_d ~ Poisson(λ · m_d)
+//                session starts: N_d draws from the diurnal profile at φ
+//                durations ~ LogNormal(a.μ, a.σ), clamped to [min, max]
+//
+// `day_noise_sigma` is the single most important knob: it directly sets how
+// predictable a user's slot counts are, which drives E4 (prediction error)
+// and E11 (robustness of overbooking to prediction noise).
+#ifndef ADPAD_SRC_TRACE_GENERATOR_H_
+#define ADPAD_SRC_TRACE_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/trace/session.h"
+#include "src/trace/user_model.h"
+
+namespace pad {
+
+struct PopulationConfig {
+  int num_users = 100;
+  double horizon_s = 2.0 * kWeek;
+  int num_apps = 15;
+  double app_zipf_exponent = 1.0;
+  // Audience segments users are binned into (uniformly). 1 disables
+  // targeting structure; the ad-targeting experiments sweep this.
+  int num_segments = 1;
+
+  std::vector<UserArchetype> archetypes = DefaultArchetypes();
+  // Lognormal sigma of the per-user spread around the archetype rate.
+  double rate_spread_sigma = 0.4;
+  // Std-dev (hours) of the per-user diurnal phase shift.
+  double phase_jitter_h = 1.5;
+  // Lognormal sigma of the mean-1 per-day activity multiplier.
+  double day_noise_sigma = 0.35;
+
+  // Weekly seasonality: weekend (days 5 and 6 of each week) activity is
+  // scaled by this factor and the diurnal profile shifts later by this many
+  // hours (people sleep in). 1.0 / 0.0 disables the structure.
+  double weekend_rate_multiplier = 1.25;
+  double weekend_phase_shift_h = 1.5;
+
+  bool flat_diurnal = false;  // Ablation: destroy time-of-day structure.
+  double min_session_s = 10.0;
+  double max_session_s = 2.0 * kHour;
+
+  uint64_t seed = 42;
+};
+
+// Draws the per-user parameters for a population. Exposed separately so
+// tests and the prediction experiments can inspect ground-truth rates.
+std::vector<UserParams> SampleUserParams(const PopulationConfig& config);
+
+// Generates the full session trace. Sessions within a user are sorted by
+// start time and end no later than the horizon.
+Population GeneratePopulation(const PopulationConfig& config);
+
+// Generates sessions for a single already-parameterized user (used by the
+// generator and by focused tests).
+UserTrace GenerateUserTrace(const PopulationConfig& config, const UserParams& params, Rng& rng);
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_TRACE_GENERATOR_H_

@@ -1,0 +1,46 @@
+// Core trace types: who used which app, when, and for how long.
+//
+// This is the schema of the paper's proprietary usage traces (~1,693 Windows
+// Phone users plus LiveLab iPhone users): a trace is a sequence of
+// foreground app sessions per user. Everything downstream (ad slots, radio
+// transfers, slot predictions) is derived from sessions.
+#ifndef ADPAD_SRC_TRACE_SESSION_H_
+#define ADPAD_SRC_TRACE_SESSION_H_
+
+#include <vector>
+
+namespace pad {
+
+struct Session {
+  int user_id = 0;
+  int app_id = 0;
+  double start_time = 0.0;  // Seconds since trace start.
+  double duration_s = 0.0;
+
+  double end_time() const { return start_time + duration_s; }
+};
+
+struct UserTrace {
+  int user_id = 0;
+  // Audience segment (demographic/interest bucket) used by ad targeting.
+  // Single-segment populations (the default) put everyone in segment 0.
+  int segment = 0;
+  std::vector<Session> sessions;  // Sorted by start_time.
+};
+
+struct Population {
+  double horizon_s = 0.0;  // Trace length; sessions end at or before this.
+  std::vector<UserTrace> users;
+
+  int64_t TotalSessions() const {
+    int64_t total = 0;
+    for (const UserTrace& user : users) {
+      total += static_cast<int64_t>(user.sessions.size());
+    }
+    return total;
+  }
+};
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_TRACE_SESSION_H_

@@ -1,0 +1,96 @@
+#include "src/trace/trace_io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/common/csv.h"
+#include "src/common/units.h"
+
+namespace pad {
+
+void WriteTrace(const Population& population, std::ostream& out) {
+  out << "# adpad session trace\n";
+  out << "# horizon_s=" << CsvWriter::Field(population.horizon_s) << '\n';
+  CsvWriter writer(out);
+  writer.WriteRow({"user_id", "segment", "app_id", "start_time", "duration_s"});
+  for (const UserTrace& user : population.users) {
+    for (const Session& session : user.sessions) {
+      writer.WriteRow({CsvWriter::Field(session.user_id), CsvWriter::Field(user.segment),
+                       CsvWriter::Field(session.app_id), CsvWriter::Field(session.start_time),
+                       CsvWriter::Field(session.duration_s)});
+    }
+  }
+}
+
+void WriteTraceFile(const Population& population, const std::string& path) {
+  std::ofstream out(path);
+  PAD_CHECK_MSG(out.good(), "cannot open trace file for writing");
+  WriteTrace(population, out);
+}
+
+Population ParseTrace(std::string_view text) {
+  // Pull the horizon out of the comment header before the CSV parser (which
+  // skips comments) sees the text.
+  double horizon = -1.0;
+  const std::string_view key = "# horizon_s=";
+  const size_t pos = text.find(key);
+  if (pos != std::string_view::npos) {
+    horizon = std::stod(std::string(text.substr(pos + key.size(), 32)));
+  }
+
+  const CsvTable table = ParseCsv(text);
+  const int user_col = table.ColumnIndex("user_id");
+  const int app_col = table.ColumnIndex("app_id");
+  const int start_col = table.ColumnIndex("start_time");
+  const int duration_col = table.ColumnIndex("duration_s");
+  // Older traces predate targeting and have no segment column.
+  int segment_col = -1;
+  for (size_t i = 0; i < table.header.size(); ++i) {
+    if (table.header[i] == "segment") {
+      segment_col = static_cast<int>(i);
+    }
+  }
+
+  std::map<int, UserTrace> users;
+  double max_end = 0.0;
+  for (const auto& row : table.rows) {
+    Session session;
+    session.user_id = std::stoi(row[static_cast<size_t>(user_col)]);
+    session.app_id = std::stoi(row[static_cast<size_t>(app_col)]);
+    session.start_time = std::stod(row[static_cast<size_t>(start_col)]);
+    session.duration_s = std::stod(row[static_cast<size_t>(duration_col)]);
+    PAD_CHECK(session.duration_s >= 0.0);
+    UserTrace& user = users[session.user_id];
+    user.user_id = session.user_id;
+    if (segment_col >= 0) {
+      user.segment = std::stoi(row[static_cast<size_t>(segment_col)]);
+    }
+    user.sessions.push_back(session);
+    max_end = std::max(max_end, session.end_time());
+  }
+
+  Population population;
+  population.horizon_s = horizon > 0.0 ? horizon : std::ceil(max_end / kDay) * kDay;
+  population.users.reserve(users.size());
+  for (auto& [id, user] : users) {
+    std::sort(user.sessions.begin(), user.sessions.end(),
+              [](const Session& a, const Session& b) { return a.start_time < b.start_time; });
+    population.users.push_back(std::move(user));
+  }
+  return population;
+}
+
+Population ReadTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  PAD_CHECK_MSG(in.good(), "cannot open trace file for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseTrace(buffer.str());
+}
+
+}  // namespace pad

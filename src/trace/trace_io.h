@@ -1,0 +1,26 @@
+// Trace serialization: save a generated population to CSV and load it back.
+//
+// Format (one session per row, '#' comments allowed):
+//   user_id,app_id,start_time,duration_s
+// The horizon is recorded in a leading comment and recomputed on load if
+// absent (max session end rounded up to a whole day).
+#ifndef ADPAD_SRC_TRACE_TRACE_IO_H_
+#define ADPAD_SRC_TRACE_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "src/trace/session.h"
+
+namespace pad {
+
+void WriteTrace(const Population& population, std::ostream& out);
+void WriteTraceFile(const Population& population, const std::string& path);
+
+Population ParseTrace(std::string_view text);
+Population ReadTraceFile(const std::string& path);
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_TRACE_TRACE_IO_H_

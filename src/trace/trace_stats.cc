@@ -1,0 +1,85 @@
+#include "src/trace/trace_stats.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/units.h"
+
+namespace pad {
+
+TraceStats ComputeTraceStats(const Population& population) {
+  TraceStats stats;
+  stats.num_users = static_cast<int>(population.users.size());
+  stats.horizon_days = population.horizon_s / kDay;
+
+  std::array<double, 24> hourly_counts{};
+  double total_starts = 0.0;
+
+  for (const UserTrace& user : population.users) {
+    stats.num_sessions += static_cast<int64_t>(user.sessions.size());
+    if (stats.horizon_days > 0.0) {
+      stats.sessions_per_user_day.Add(static_cast<double>(user.sessions.size()) /
+                                      stats.horizon_days);
+    }
+    double prev_end = -1.0;
+    for (const Session& session : user.sessions) {
+      stats.session_duration_s.Add(session.duration_s);
+      const int hour = static_cast<int>(HourOfDay(session.start_time));
+      hourly_counts[static_cast<size_t>(hour % 24)] += 1.0;
+      total_starts += 1.0;
+      if (prev_end >= 0.0) {
+        stats.inter_session_gap_s.Add(std::max(0.0, session.start_time - prev_end));
+      }
+      prev_end = session.end_time();
+    }
+  }
+
+  if (total_starts > 0.0) {
+    for (size_t h = 0; h < 24; ++h) {
+      stats.hourly_fraction[h] = hourly_counts[h] / total_starts;
+    }
+  }
+  return stats;
+}
+
+std::vector<int> DailySessionCounts(const UserTrace& user, double horizon_s) {
+  PAD_CHECK(horizon_s > 0.0);
+  const int num_days = static_cast<int>(std::ceil(horizon_s / kDay));
+  std::vector<int> counts(static_cast<size_t>(num_days), 0);
+  for (const Session& session : user.sessions) {
+    const int day = DayIndex(session.start_time);
+    if (day >= 0 && day < num_days) {
+      ++counts[static_cast<size_t>(day)];
+    }
+  }
+  return counts;
+}
+
+double DailyCountAutocorrelation(const UserTrace& user, double horizon_s, int lag_days) {
+  PAD_CHECK(lag_days >= 1);
+  const std::vector<int> counts = DailySessionCounts(user, horizon_s);
+  const int n = static_cast<int>(counts.size());
+  if (n < lag_days + 2) {
+    return 0.0;
+  }
+  double mean = 0.0;
+  for (int c : counts) {
+    mean += c;
+  }
+  mean /= static_cast<double>(n);
+  double variance = 0.0;
+  for (int c : counts) {
+    variance += (c - mean) * (c - mean);
+  }
+  if (variance <= 0.0) {
+    return 0.0;
+  }
+  double covariance = 0.0;
+  for (int d = 0; d + lag_days < n; ++d) {
+    covariance += (counts[static_cast<size_t>(d)] - mean) *
+                  (counts[static_cast<size_t>(d + lag_days)] - mean);
+  }
+  return covariance / variance;
+}
+
+}  // namespace pad

@@ -1,0 +1,40 @@
+// Trace characterization: the statistics behind experiment E3 and the checks
+// that the synthetic population has the structure the paper's traces had.
+#ifndef ADPAD_SRC_TRACE_TRACE_STATS_H_
+#define ADPAD_SRC_TRACE_TRACE_STATS_H_
+
+#include <array>
+
+#include "src/common/stats.h"
+#include "src/trace/session.h"
+
+namespace pad {
+
+struct TraceStats {
+  int num_users = 0;
+  int64_t num_sessions = 0;
+  double horizon_days = 0.0;
+
+  // One sample per user: that user's mean daily session count.
+  SampleSet sessions_per_user_day;
+  // One sample per session.
+  SampleSet session_duration_s;
+  // One sample per consecutive same-user session pair.
+  SampleSet inter_session_gap_s;
+  // Session-start mass by hour of day, normalized to sum 1.
+  std::array<double, 24> hourly_fraction{};
+};
+
+TraceStats ComputeTraceStats(const Population& population);
+
+// Lag-k autocorrelation of a user's daily session-count series; the
+// within-user regularity measure used to sanity-check predictability.
+// Returns 0 when the series is shorter than k + 2 days or has no variance.
+double DailyCountAutocorrelation(const UserTrace& user, double horizon_s, int lag_days);
+
+// Per-user daily session counts over the horizon (index = day).
+std::vector<int> DailySessionCounts(const UserTrace& user, double horizon_s);
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_TRACE_TRACE_STATS_H_

@@ -1,0 +1,91 @@
+#include "src/auction/auction.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pad {
+namespace {
+
+TEST(AuctionTest, HighestBidderWinsPaysSecondPrice) {
+  const std::vector<Bid> bids = {{1, 0.5}, {2, 0.9}, {3, 0.7}};
+  const AuctionOutcome outcome = RunSecondPriceAuction(bids, 0.0);
+  EXPECT_TRUE(outcome.sold);
+  EXPECT_EQ(outcome.winner_id, 2);
+  EXPECT_DOUBLE_EQ(outcome.clearing_price, 0.7);
+}
+
+TEST(AuctionTest, SingleBidderPaysReserve) {
+  const std::vector<Bid> bids = {{1, 0.5}};
+  const AuctionOutcome outcome = RunSecondPriceAuction(bids, 0.1);
+  EXPECT_TRUE(outcome.sold);
+  EXPECT_EQ(outcome.winner_id, 1);
+  EXPECT_DOUBLE_EQ(outcome.clearing_price, 0.1);
+}
+
+TEST(AuctionTest, NoBidsNoSale) {
+  const AuctionOutcome outcome = RunSecondPriceAuction({}, 0.1);
+  EXPECT_FALSE(outcome.sold);
+  EXPECT_DOUBLE_EQ(outcome.clearing_price, 0.0);
+}
+
+TEST(AuctionTest, BidsAtOrBelowReserveIgnored) {
+  const std::vector<Bid> bids = {{1, 0.1}, {2, 0.05}};
+  const AuctionOutcome outcome = RunSecondPriceAuction(bids, 0.1);
+  EXPECT_FALSE(outcome.sold);
+}
+
+TEST(AuctionTest, SecondBidBelowReserveClampedToReserve) {
+  const std::vector<Bid> bids = {{1, 0.5}, {2, 0.05}};
+  const AuctionOutcome outcome = RunSecondPriceAuction(bids, 0.1);
+  EXPECT_TRUE(outcome.sold);
+  EXPECT_EQ(outcome.winner_id, 1);
+  EXPECT_DOUBLE_EQ(outcome.clearing_price, 0.1);
+}
+
+TEST(AuctionTest, TieBreaksTowardEarlierBid) {
+  const std::vector<Bid> bids = {{7, 0.5}, {8, 0.5}};
+  const AuctionOutcome outcome = RunSecondPriceAuction(bids, 0.0);
+  EXPECT_TRUE(outcome.sold);
+  EXPECT_EQ(outcome.winner_id, 7);
+  EXPECT_DOUBLE_EQ(outcome.clearing_price, 0.5);  // Runner-up matches the bid.
+}
+
+TEST(AuctionTest, ClearingPriceNeverExceedsWinningBid) {
+  const std::vector<Bid> bids = {{1, 0.9}, {2, 0.6}, {3, 0.3}};
+  const AuctionOutcome outcome = RunSecondPriceAuction(bids, 0.2);
+  EXPECT_LE(outcome.clearing_price, 0.9);
+  EXPECT_GE(outcome.clearing_price, 0.2);
+}
+
+// Truthfulness spot-check: with second pricing, raising a losing bid above
+// the winner flips the outcome but the new price equals the old winner's bid.
+TEST(AuctionTest, VickreyProperty) {
+  std::vector<Bid> bids = {{1, 0.9}, {2, 0.6}};
+  AuctionOutcome before = RunSecondPriceAuction(bids, 0.0);
+  EXPECT_EQ(before.winner_id, 1);
+  bids[1].amount = 1.2;
+  AuctionOutcome after = RunSecondPriceAuction(bids, 0.0);
+  EXPECT_EQ(after.winner_id, 2);
+  EXPECT_DOUBLE_EQ(after.clearing_price, 0.9);
+}
+
+class ReservePriceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ReservePriceTest, ClearingPriceAtLeastReserveWhenSold) {
+  const double reserve = GetParam();
+  const std::vector<Bid> bids = {{1, 0.8}, {2, 0.4}, {3, 0.2}};
+  const AuctionOutcome outcome = RunSecondPriceAuction(bids, reserve);
+  if (outcome.sold) {
+    EXPECT_GE(outcome.clearing_price, reserve);
+    EXPECT_EQ(outcome.winner_id, 1);
+  } else {
+    EXPECT_GE(reserve, 0.8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Reserves, ReservePriceTest,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.79, 0.8, 1.0));
+
+}  // namespace
+}  // namespace pad

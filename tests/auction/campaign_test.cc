@@ -1,0 +1,81 @@
+#include "src/auction/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pad {
+namespace {
+
+TEST(CampaignStreamTest, SortedDenseAndWithinHorizon) {
+  CampaignStreamConfig config;
+  config.horizon_s = 7.0 * kDay;
+  const auto campaigns = GenerateCampaignStream(config, /*first_id=*/100);
+  ASSERT_FALSE(campaigns.empty());
+  double prev = 0.0;
+  int64_t id = 100;
+  for (const Campaign& campaign : campaigns) {
+    EXPECT_GE(campaign.arrival_time, prev);
+    prev = campaign.arrival_time;
+    EXPECT_LT(campaign.arrival_time, config.horizon_s);
+    EXPECT_EQ(campaign.campaign_id, id++);
+    EXPECT_GT(campaign.bid_per_impression, 0.0);
+    EXPECT_GE(campaign.target_impressions, 1);
+    EXPECT_DOUBLE_EQ(campaign.display_deadline_s, config.display_deadline_s);
+  }
+}
+
+TEST(CampaignStreamTest, ArrivalRateMatchesConfig) {
+  CampaignStreamConfig config;
+  config.horizon_s = 30.0 * kDay;
+  config.arrivals_per_day = 100.0;
+  const auto campaigns = GenerateCampaignStream(config);
+  EXPECT_NEAR(static_cast<double>(campaigns.size()), 3000.0, 200.0);
+}
+
+TEST(CampaignStreamTest, CpmMedianMatchesLogNormal) {
+  CampaignStreamConfig config;
+  config.horizon_s = 60.0 * kDay;
+  config.arrivals_per_day = 200.0;
+  config.cpm_mu = std::log(2.0);  // Median CPM $2.
+  auto campaigns = GenerateCampaignStream(config);
+  std::vector<double> cpms;
+  cpms.reserve(campaigns.size());
+  for (const Campaign& campaign : campaigns) {
+    cpms.push_back(campaign.bid_per_impression * 1000.0);
+  }
+  std::nth_element(cpms.begin(), cpms.begin() + cpms.size() / 2, cpms.end());
+  EXPECT_NEAR(cpms[cpms.size() / 2], 2.0, 0.15);
+}
+
+TEST(CampaignStreamTest, DeterministicBySeed) {
+  CampaignStreamConfig config;
+  config.horizon_s = 7.0 * kDay;
+  const auto a = GenerateCampaignStream(config);
+  const auto b = GenerateCampaignStream(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_time, b[i].arrival_time);
+    EXPECT_DOUBLE_EQ(a[i].bid_per_impression, b[i].bid_per_impression);
+  }
+  config.seed = 999;
+  const auto c = GenerateCampaignStream(config);
+  EXPECT_NE(a.size(), c.size());
+}
+
+TEST(CampaignStreamTest, TargetsHeavyTailed) {
+  CampaignStreamConfig config;
+  config.horizon_s = 60.0 * kDay;
+  const auto campaigns = GenerateCampaignStream(config);
+  int64_t max_target = 0;
+  double mean_target = 0.0;
+  for (const Campaign& campaign : campaigns) {
+    max_target = std::max(max_target, campaign.target_impressions);
+    mean_target += static_cast<double>(campaign.target_impressions);
+  }
+  mean_target /= static_cast<double>(campaigns.size());
+  EXPECT_GT(static_cast<double>(max_target), 5.0 * mean_target);
+}
+
+}  // namespace
+}  // namespace pad

@@ -1,0 +1,164 @@
+// Targeting, budget, and frequency-cap behaviour of the market layer.
+#include <gtest/gtest.h>
+
+#include "src/auction/exchange.h"
+
+namespace pad {
+namespace {
+
+Campaign MakeCampaign(int64_t id, double cpm, int64_t target, uint32_t mask = kAllSegments,
+                      double budget = 0.0) {
+  Campaign campaign;
+  campaign.campaign_id = id;
+  campaign.arrival_time = 0.0;
+  campaign.bid_per_impression = cpm / 1000.0;
+  campaign.target_impressions = target;
+  campaign.display_deadline_s = 3600.0;
+  campaign.segment_mask = mask;
+  campaign.budget_usd = budget;
+  return campaign;
+}
+
+ExchangeConfig Segmented(int num_segments) {
+  ExchangeConfig config;
+  config.num_segments = num_segments;
+  return config;
+}
+
+TEST(TargetingTest, CampaignOnlyBuysTargetedSegments) {
+  // Campaign 1 targets segment 0 only; campaign 2 targets everyone.
+  Exchange exchange(Segmented(2), {MakeCampaign(1, 5.0, 100, 0b01u),
+                                   MakeCampaign(2, 1.0, 100, kAllSegments)});
+  const auto seg0 = exchange.SellSlots(0.0, 2, /*segment=*/0);
+  ASSERT_EQ(seg0.size(), 2u);
+  EXPECT_EQ(seg0[0].campaign_id, 1);  // Highest bid wins where eligible.
+  const auto seg1 = exchange.SellSlots(1.0, 2, /*segment=*/1);
+  ASSERT_EQ(seg1.size(), 2u);
+  EXPECT_EQ(seg1[0].campaign_id, 2);  // Campaign 1 is invisible here.
+}
+
+TEST(TargetingTest, ClearingPriceUsesEligibleRunnerUpOnly) {
+  // In segment 1 campaign 2 competes only against campaign 3, not the
+  // higher-bidding (but ineligible) campaign 1.
+  Exchange exchange(Segmented(2),
+                    {MakeCampaign(1, 9.0, 100, 0b01u), MakeCampaign(2, 5.0, 100, 0b10u),
+                     MakeCampaign(3, 2.0, 100, 0b10u)});
+  const auto sold = exchange.SellSlots(0.0, 1, /*segment=*/1);
+  ASSERT_EQ(sold.size(), 1u);
+  EXPECT_EQ(sold[0].campaign_id, 2);
+  EXPECT_DOUBLE_EQ(sold[0].price, 2.0 / 1000.0);
+}
+
+TEST(TargetingTest, SegmentWithNoEligibleDemandSellsNothing) {
+  Exchange exchange(Segmented(4), {MakeCampaign(1, 5.0, 100, 0b0001u)});
+  EXPECT_TRUE(exchange.SellSlots(0.0, 5, /*segment=*/3).empty());
+  EXPECT_EQ(exchange.SellSlots(1.0, 5, /*segment=*/0).size(), 5u);
+}
+
+TEST(TargetingTest, MultiSegmentCampaignSharesOneTarget) {
+  // Target of 5 impressions shared across both segments' sales.
+  Exchange exchange(Segmented(2), {MakeCampaign(1, 5.0, 5, 0b11u)});
+  EXPECT_EQ(exchange.SellSlots(0.0, 3, 0).size(), 3u);
+  EXPECT_EQ(exchange.SellSlots(1.0, 3, 1).size(), 2u);  // Only 2 left.
+  EXPECT_TRUE(exchange.SellSlots(2.0, 1, 0).empty());
+  EXPECT_EQ(exchange.active_campaigns(), 0);
+}
+
+TEST(TargetingTest, SoldImpressionCarriesMaskAndCap) {
+  Campaign campaign = MakeCampaign(1, 5.0, 10, 0b101u);
+  campaign.frequency_cap_per_day = 2;
+  Exchange exchange(Segmented(3), {campaign});
+  const auto sold = exchange.SellSlots(0.0, 1, /*segment=*/2);
+  ASSERT_EQ(sold.size(), 1u);
+  EXPECT_EQ(sold[0].segment_mask, 0b101u);
+  EXPECT_EQ(sold[0].frequency_cap_per_day, 2);
+}
+
+TEST(TargetingTest, CampaignTargetingNoConfiguredSegmentNeverSells) {
+  // Mask covers only segment 5, but the exchange runs 2 segments.
+  Exchange exchange(Segmented(2), {MakeCampaign(1, 5.0, 100, 1u << 5)});
+  EXPECT_TRUE(exchange.SellSlots(0.0, 5, 0).empty());
+  EXPECT_TRUE(exchange.SellSlots(1.0, 5, 1).empty());
+  EXPECT_EQ(exchange.active_campaigns(), 0);
+  EXPECT_EQ(exchange.open_demand(), 0);
+}
+
+TEST(BudgetTest, CampaignRetiresAtBudget) {
+  // Budget covers 4 impressions at the runner-up price of $2 CPM.
+  Exchange exchange(Segmented(1), {MakeCampaign(1, 5.0, 100, kAllSegments, 4.0 * 2.0 / 1000.0),
+                                   MakeCampaign(2, 2.0, 100)});
+  const auto sold = exchange.SellSlots(0.0, 10, 0);
+  ASSERT_EQ(sold.size(), 10u);
+  int from_1 = 0;
+  for (const auto& impression : sold) {
+    if (impression.campaign_id == 1) {
+      ++from_1;
+    }
+  }
+  EXPECT_EQ(from_1, 4);
+  // Campaign 2 takes over once 1's budget is gone.
+  EXPECT_EQ(sold[4].campaign_id, 2);
+}
+
+TEST(BudgetTest, UnlimitedBudgetByDefault) {
+  Exchange exchange(Segmented(1), {MakeCampaign(1, 5.0, 20)});
+  EXPECT_EQ(exchange.SellSlots(0.0, 20, 0).size(), 20u);
+}
+
+TEST(BudgetTest, OpenDemandReleasedOnBudgetRetirement) {
+  Exchange exchange(Segmented(1), {MakeCampaign(1, 5.0, 1000, kAllSegments, 0.001),
+                                   MakeCampaign(2, 2.0, 10)});
+  // Campaign 1 can afford ~1 impression at $2 CPM clearing.
+  exchange.SellSlots(0.0, 5, 0);
+  EXPECT_LT(exchange.open_demand(), 1000);
+}
+
+TEST(CampaignStreamTargetingTest, MasksRespectConfig) {
+  CampaignStreamConfig config;
+  config.horizon_s = 30.0 * kDay;
+  config.num_segments = 8;
+  config.targeted_fraction = 0.5;
+  config.segment_selectivity = 0.25;
+  const auto campaigns = GenerateCampaignStream(config);
+  int targeted = 0;
+  for (const Campaign& campaign : campaigns) {
+    if (campaign.segment_mask != kAllSegments) {
+      ++targeted;
+      EXPECT_NE(campaign.segment_mask, 0u);
+      // Mask only uses configured segment bits.
+      EXPECT_EQ(campaign.segment_mask & ~((1u << 8) - 1u), 0u);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(targeted) / campaigns.size(), 0.5, 0.06);
+}
+
+TEST(CampaignStreamTargetingTest, CapsAndBudgetsGenerated) {
+  CampaignStreamConfig config;
+  config.horizon_s = 30.0 * kDay;
+  config.capped_fraction = 0.3;
+  config.budgeted_fraction = 0.4;
+  const auto campaigns = GenerateCampaignStream(config);
+  int capped = 0;
+  int budgeted = 0;
+  for (const Campaign& campaign : campaigns) {
+    if (campaign.frequency_cap_per_day > 0) {
+      ++capped;
+    }
+    if (campaign.budget_usd > 0.0) {
+      ++budgeted;
+      EXPECT_NEAR(campaign.budget_usd,
+                  0.5 * campaign.bid_per_impression * campaign.target_impressions, 1e-9);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(capped) / campaigns.size(), 0.3, 0.06);
+  EXPECT_NEAR(static_cast<double>(budgeted) / campaigns.size(), 0.4, 0.06);
+}
+
+TEST(TargetingDeathTest, SegmentOutOfRangeAborts) {
+  Exchange exchange(Segmented(2), {MakeCampaign(1, 5.0, 10)});
+  EXPECT_DEATH(exchange.SellSlots(0.0, 1, 2), "segment");
+  EXPECT_DEATH(exchange.SellSlots(0.0, 1, -1), "segment");
+}
+
+}  // namespace
+}  // namespace pad

@@ -1,0 +1,106 @@
+#include "src/common/options.h"
+
+#include <gtest/gtest.h>
+
+namespace pad {
+namespace {
+
+std::optional<Options> ParseArgs(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("tool"));
+  for (std::string& arg : args) {
+    argv.push_back(arg.data());
+  }
+  std::string error;
+  return Options::Parse(static_cast<int>(argv.size()), argv.data(), &error);
+}
+
+TEST(OptionsTest, ParsesKeyValues) {
+  const auto options = ParseArgs({"users=200", "radio=lte", "wifi=true"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->GetInt("users", 0), 200);
+  EXPECT_EQ(options->GetString("radio", ""), "lte");
+  EXPECT_TRUE(options->GetBool("wifi", false));
+}
+
+TEST(OptionsTest, FallbacksWhenMissing) {
+  const auto options = ParseArgs({});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->GetInt("users", 42), 42);
+  EXPECT_DOUBLE_EQ(options->GetDouble("x", 1.5), 1.5);
+  EXPECT_EQ(options->GetString("s", "d"), "d");
+  EXPECT_FALSE(options->GetBool("b", false));
+}
+
+TEST(OptionsTest, MalformedTokenFails) {
+  std::vector<char*> argv;
+  char prog[] = "tool";
+  char bad[] = "novalue";
+  argv = {prog, bad};
+  std::string error;
+  EXPECT_FALSE(Options::Parse(2, argv.data(), &error).has_value());
+  EXPECT_NE(error.find("key=value"), std::string::npos);
+}
+
+TEST(OptionsTest, ParseTextSkipsCommentsAndBlanks) {
+  std::string error;
+  const auto options = Options::ParseText("# comment\n\nusers = 10\nradio= 3g \n", &error);
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->GetInt("users", 0), 10);
+  EXPECT_EQ(options->GetString("radio", ""), "3g");
+}
+
+TEST(OptionsTest, ParseTextRejectsBadLine) {
+  std::string error;
+  EXPECT_FALSE(Options::ParseText("justakey\n", &error).has_value());
+}
+
+TEST(OptionsTest, ConfigFileWithCliOverride) {
+  const std::string path = ::testing::TempDir() + "/options_test.conf";
+  {
+    std::string error;
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("users=10\nradio=3g\n", f);
+    fclose(f);
+    (void)error;
+  }
+  const auto options = ParseArgs({"--config", path, "users=99"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->GetInt("users", 0), 99);     // CLI wins.
+  EXPECT_EQ(options->GetString("radio", ""), "3g");  // File value survives.
+}
+
+TEST(OptionsTest, MissingConfigFileFails) {
+  const auto options = ParseArgs({"--config", "/nonexistent.conf"});
+  EXPECT_FALSE(options.has_value());
+}
+
+TEST(OptionsTest, BooleanSpellings) {
+  const auto options = ParseArgs({"a=yes", "b=off", "c=1", "d=false"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_TRUE(options->GetBool("a", false));
+  EXPECT_FALSE(options->GetBool("b", true));
+  EXPECT_TRUE(options->GetBool("c", false));
+  EXPECT_FALSE(options->GetBool("d", true));
+}
+
+TEST(OptionsTest, UnusedKeysTracked) {
+  const auto options = ParseArgs({"used=1", "typo_key=2"});
+  ASSERT_TRUE(options.has_value());
+  (void)options->GetInt("used", 0);
+  const auto unused = options->UnusedKeys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo_key");
+}
+
+TEST(OptionsDeathTest, TypeMismatchAborts) {
+  const auto options = ParseArgs({"n=abc", "f=1.5"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_DEATH((void)options->GetInt("n", 0), "not a number");
+  EXPECT_DEATH((void)options->GetInt("f", 0), "not an integer");
+  EXPECT_DEATH((void)options->GetBool("n", false), "not a boolean");
+}
+
+}  // namespace
+}  // namespace pad

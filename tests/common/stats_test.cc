@@ -1,0 +1,206 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace pad {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 0.0);
+  EXPECT_EQ(stats.max(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.Add(5.0);
+  EXPECT_EQ(stats.count(), 1);
+  EXPECT_EQ(stats.mean(), 5.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 5.0);
+  EXPECT_EQ(stats.max(), 5.0);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 4.0, 2.0, 8.0, 5.0, 7.0};
+  RunningStats stats;
+  for (double x : xs) {
+    stats.Add(x);
+  }
+  double mean = 0.0;
+  for (double x : xs) {
+    mean += x;
+  }
+  mean /= xs.size();
+  double var = 0.0;
+  for (double x : xs) {
+    var += (x - mean) * (x - mean);
+  }
+  var /= (xs.size() - 1);
+  EXPECT_DOUBLE_EQ(stats.mean(), mean);
+  EXPECT_NEAR(stats.variance(), var, 1e-12);
+  EXPECT_EQ(stats.min(), 1.0);
+  EXPECT_EQ(stats.max(), 8.0);
+  EXPECT_NEAR(stats.sum(), 27.0, 1e-12);
+}
+
+TEST(RunningStatsTest, MergeEquivalentToCombined) {
+  Rng rng(1);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Normal(3.0, 2.0);
+    all.Add(x);
+    (i % 3 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.Add(1.0);
+  a.Add(2.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  RunningStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_NEAR(b.mean(), 1.5, 1e-12);
+}
+
+TEST(SampleSetTest, PercentilesExact) {
+  SampleSet set;
+  for (int i = 1; i <= 100; ++i) {
+    set.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(set.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(set.Percentile(100.0), 100.0);
+  EXPECT_NEAR(set.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(set.Percentile(25.0), 25.75, 1e-9);
+  EXPECT_NEAR(set.Percentile(90.0), 90.1, 1e-9);
+}
+
+TEST(SampleSetTest, PercentileSingleSample) {
+  SampleSet set;
+  set.Add(42.0);
+  EXPECT_EQ(set.Percentile(0.0), 42.0);
+  EXPECT_EQ(set.Percentile(50.0), 42.0);
+  EXPECT_EQ(set.Percentile(100.0), 42.0);
+}
+
+TEST(SampleSetTest, CdfAt) {
+  SampleSet set;
+  set.AddAll(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(set.CdfAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(set.CdfAt(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(set.CdfAt(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(set.CdfAt(10.0), 1.0);
+}
+
+TEST(SampleSetTest, CdfPointsMonotone) {
+  SampleSet set;
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    set.Add(rng.Normal(0.0, 1.0));
+  }
+  const auto points = set.CdfPoints(21);
+  ASSERT_EQ(points.size(), 21u);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].first, points[i - 1].first);
+    EXPECT_GE(points[i].second, points[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(points.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+}
+
+TEST(SampleSetTest, AddAfterPercentileInvalidatesSortCache) {
+  SampleSet set;
+  set.Add(10.0);
+  set.Add(20.0);
+  EXPECT_EQ(set.max(), 20.0);
+  set.Add(30.0);
+  EXPECT_EQ(set.max(), 30.0);
+  EXPECT_DOUBLE_EQ(set.Percentile(100.0), 30.0);
+}
+
+TEST(SampleSetTest, BootstrapCiCoversTrueMean) {
+  Rng data_rng(3);
+  SampleSet set;
+  for (int i = 0; i < 400; ++i) {
+    set.Add(data_rng.Normal(10.0, 2.0));
+  }
+  Rng boot_rng(4);
+  const auto [lo, hi] = set.BootstrapMeanCi(boot_rng, 0.95, 500);
+  EXPECT_LT(lo, hi);
+  EXPECT_LT(lo, 10.2);
+  EXPECT_GT(hi, 9.8);
+  // Interval should be tight-ish for n=400: sd/sqrt(n) = 0.1.
+  EXPECT_LT(hi - lo, 1.0);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram hist(0.0, 10.0, 10);
+  hist.Add(0.5);
+  hist.Add(9.99);
+  hist.Add(-5.0);   // Clamps to first bin.
+  hist.Add(100.0);  // Clamps to last bin.
+  EXPECT_EQ(hist.bins(), 10);
+  EXPECT_DOUBLE_EQ(hist.Count(0), 2.0);
+  EXPECT_DOUBLE_EQ(hist.Count(9), 2.0);
+  EXPECT_DOUBLE_EQ(hist.total(), 4.0);
+  EXPECT_DOUBLE_EQ(hist.Fraction(0), 0.5);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram hist(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(hist.BinLow(0), 10.0);
+  EXPECT_DOUBLE_EQ(hist.BinHigh(0), 12.0);
+  EXPECT_DOUBLE_EQ(hist.BinCenter(2), 15.0);
+  EXPECT_DOUBLE_EQ(hist.BinHigh(4), 20.0);
+}
+
+TEST(HistogramTest, WeightedAdds) {
+  Histogram hist(0.0, 1.0, 2);
+  hist.Add(0.25, 3.0);
+  hist.Add(0.75, 1.0);
+  EXPECT_DOUBLE_EQ(hist.Fraction(0), 0.75);
+  EXPECT_DOUBLE_EQ(hist.Fraction(1), 0.25);
+}
+
+TEST(HistogramTest, EmptyFractionIsZero) {
+  Histogram hist(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(hist.Fraction(0), 0.0);
+}
+
+TEST(WeightedMeanTest, Basics) {
+  WeightedMean wm;
+  EXPECT_DOUBLE_EQ(wm.mean(), 0.0);
+  wm.Add(10.0, 1.0);
+  wm.Add(20.0, 3.0);
+  EXPECT_DOUBLE_EQ(wm.mean(), 17.5);
+  EXPECT_DOUBLE_EQ(wm.total_weight(), 4.0);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace pad

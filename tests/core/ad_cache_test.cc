@@ -1,0 +1,89 @@
+#include "src/core/ad_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace pad {
+namespace {
+
+CachedAd Ad(int64_t id, double deadline) { return CachedAd{id, 1, deadline, 3072.0}; }
+
+TEST(AdCacheTest, FifoOrder) {
+  AdCache cache;
+  cache.Push(Ad(1, 100.0));
+  cache.Push(Ad(2, 100.0));
+  cache.Push(Ad(3, 100.0));
+  EXPECT_EQ(cache.PopForDisplay(0.0)->impression_id, 1);
+  EXPECT_EQ(cache.PopForDisplay(0.0)->impression_id, 2);
+  EXPECT_EQ(cache.PopForDisplay(0.0)->impression_id, 3);
+  EXPECT_FALSE(cache.PopForDisplay(0.0).has_value());
+}
+
+TEST(AdCacheTest, PopSkipsExpired) {
+  AdCache cache;
+  cache.Push(Ad(1, 10.0));
+  cache.Push(Ad(2, 100.0));
+  const auto ad = cache.PopForDisplay(50.0);
+  ASSERT_TRUE(ad.has_value());
+  EXPECT_EQ(ad->impression_id, 2);
+  EXPECT_EQ(cache.expired_drops(), 1);
+}
+
+TEST(AdCacheTest, DeadlineExactlyNowIsExpired) {
+  AdCache cache;
+  cache.Push(Ad(1, 50.0));
+  EXPECT_FALSE(cache.PopForDisplay(50.0).has_value());
+  EXPECT_EQ(cache.expired_drops(), 1);
+}
+
+TEST(AdCacheTest, DropExpiredScansWholeQueue) {
+  AdCache cache;
+  cache.Push(Ad(1, 100.0));  // Later deadline in front (cross-batch skew).
+  cache.Push(Ad(2, 10.0));
+  cache.Push(Ad(3, 100.0));
+  EXPECT_EQ(cache.DropExpired(50.0), 1);
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_EQ(cache.PopForDisplay(60.0)->impression_id, 1);
+  EXPECT_EQ(cache.PopForDisplay(60.0)->impression_id, 3);
+}
+
+TEST(AdCacheTest, InvalidateRemovesMatching) {
+  AdCache cache;
+  cache.Push(Ad(1, 100.0));
+  cache.Push(Ad(2, 100.0));
+  cache.Push(Ad(3, 100.0));
+  EXPECT_EQ(cache.Invalidate({2, 99}), 1);
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_EQ(cache.invalidated_drops(), 1);
+  EXPECT_EQ(cache.PopForDisplay(0.0)->impression_id, 1);
+  EXPECT_EQ(cache.PopForDisplay(0.0)->impression_id, 3);
+}
+
+TEST(AdCacheTest, InvalidateEmptySetIsNoOp) {
+  AdCache cache;
+  cache.Push(Ad(1, 100.0));
+  EXPECT_EQ(cache.Invalidate({}), 0);
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(AdCacheTest, CountersAccumulate) {
+  AdCache cache;
+  cache.Push(Ad(1, 10.0));
+  cache.Push(Ad(2, 10.0));
+  cache.Push(Ad(3, 100.0));
+  EXPECT_EQ(cache.total_pushed(), 3);
+  cache.DropExpired(50.0);
+  EXPECT_EQ(cache.expired_drops(), 2);
+  cache.Push(Ad(4, 10.0));
+  EXPECT_EQ(cache.total_pushed(), 4);
+}
+
+TEST(AdCacheTest, EmptyBehaviour) {
+  AdCache cache;
+  EXPECT_TRUE(cache.empty());
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_FALSE(cache.PopForDisplay(0.0).has_value());
+  EXPECT_EQ(cache.DropExpired(100.0), 0);
+}
+
+}  // namespace
+}  // namespace pad

@@ -1,0 +1,68 @@
+#include "src/core/config.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pad {
+namespace {
+
+PadConfig WithTimes(double window_h, double deadline_h) {
+  PadConfig config;
+  config.prediction_window_s = window_h * kHour;
+  config.deadline_s = deadline_h * kHour;
+  return config;
+}
+
+TEST(EpochTest, LongDeadlineUsesFullWindow) {
+  EXPECT_DOUBLE_EQ(WithTimes(1.0, 3.0).EpochS(), kHour);
+  EXPECT_DOUBLE_EQ(WithTimes(1.0, 2.0).EpochS(), kHour);
+  EXPECT_DOUBLE_EQ(WithTimes(2.0, 24.0).EpochS(), 2.0 * kHour);
+}
+
+TEST(EpochTest, ShortDeadlineGuaranteesTwoSyncsPerDeadline) {
+  // E must be <= D/2 and divide T.
+  for (double deadline_h : {0.25, 0.5, 0.75, 1.0, 1.5}) {
+    const PadConfig config = WithTimes(1.0, deadline_h);
+    const double epoch = config.EpochS();
+    EXPECT_LE(epoch, config.deadline_s / 2.0 + 1e-9) << "D=" << deadline_h;
+    const double ratio = config.prediction_window_s / epoch;
+    EXPECT_NEAR(ratio, std::round(ratio), 1e-9) << "E must divide T, D=" << deadline_h;
+    EXPECT_GT(epoch, 0.0);
+  }
+}
+
+TEST(EpochTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(WithTimes(1.0, 1.0).EpochS(), 0.5 * kHour);
+  EXPECT_DOUBLE_EQ(WithTimes(1.0, 0.5).EpochS(), 0.25 * kHour);
+  // D = 45 min -> target 22.5 min -> T/ceil(60/22.5)=60/3 = 20 min.
+  EXPECT_DOUBLE_EQ(WithTimes(1.0, 0.75).EpochS(), kHour / 3.0);
+  EXPECT_DOUBLE_EQ(WithTimes(2.0, 1.0).EpochS(), 0.5 * kHour);
+}
+
+TEST(EpochTest, ExactBoundaryTwoToOne) {
+  // D == 2T: target D/2 == T exactly -> full window.
+  EXPECT_DOUBLE_EQ(WithTimes(1.5, 3.0).EpochS(), 1.5 * kHour);
+}
+
+TEST(ConfigTest, WarmupSeconds) {
+  PadConfig config;
+  config.warmup_days = 3;
+  EXPECT_DOUBLE_EQ(config.WarmupS(), 3.0 * kDay);
+}
+
+TEST(ConfigTest, DefaultsAreInternallyConsistent) {
+  const PadConfig config;
+  EXPECT_GT(config.deadline_s, 0.0);
+  EXPECT_GT(config.prediction_window_s, 0.0);
+  EXPECT_GT(config.capacity_confidence, 0.0);
+  EXPECT_LT(config.capacity_confidence, 1.0);
+  EXPECT_GE(config.planner.max_replicas, 1);
+  EXPECT_GT(config.ad_bytes, 0.0);
+  // The default T divides a day (required by the window machinery).
+  const double windows = kDay / config.prediction_window_s;
+  EXPECT_NEAR(windows, std::round(windows), 1e-9);
+}
+
+}  // namespace
+}  // namespace pad

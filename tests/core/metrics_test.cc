@@ -1,0 +1,79 @@
+#include "src/core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace pad {
+namespace {
+
+EnergyBreakdown MakeBreakdown(double ad_fetch, double prefetch, double report, double content,
+                              double local) {
+  EnergyBreakdown breakdown;
+  breakdown.radio.For(TrafficCategory::kAdFetch).transfer_j = ad_fetch;
+  breakdown.radio.For(TrafficCategory::kAdPrefetch).transfer_j = prefetch;
+  breakdown.radio.For(TrafficCategory::kSlotReport).transfer_j = report;
+  breakdown.radio.For(TrafficCategory::kAppContent).transfer_j = content;
+  breakdown.local_j = local;
+  return breakdown;
+}
+
+TEST(EnergyBreakdownTest, AdEnergyIncludesAllAdMachinery) {
+  const EnergyBreakdown breakdown = MakeBreakdown(10.0, 5.0, 1.0, 20.0, 64.0);
+  EXPECT_DOUBLE_EQ(breakdown.AdEnergyJ(), 16.0);
+  EXPECT_DOUBLE_EQ(breakdown.CommEnergyJ(), 36.0);
+  EXPECT_DOUBLE_EQ(breakdown.TotalJ(), 100.0);
+  EXPECT_DOUBLE_EQ(breakdown.AdShareOfComm(), 16.0 / 36.0);
+  EXPECT_DOUBLE_EQ(breakdown.AdShareOfTotal(), 0.16);
+}
+
+TEST(EnergyBreakdownTest, EmptyBreakdownSharesAreZero) {
+  const EnergyBreakdown breakdown;
+  EXPECT_DOUBLE_EQ(breakdown.AdShareOfComm(), 0.0);
+  EXPECT_DOUBLE_EQ(breakdown.AdShareOfTotal(), 0.0);
+}
+
+TEST(ServiceStatsTest, CacheHitRate) {
+  ServiceStats stats;
+  EXPECT_DOUBLE_EQ(stats.CacheHitRate(), 0.0);
+  stats.slots = 10;
+  stats.served_from_cache = 7;
+  EXPECT_DOUBLE_EQ(stats.CacheHitRate(), 0.7);
+}
+
+TEST(PadRunResultTest, MeanReplication) {
+  PadRunResult result;
+  EXPECT_DOUBLE_EQ(result.MeanReplication(), 0.0);
+  result.impressions_sold = 100;
+  result.impressions_dispatched = 130;
+  EXPECT_DOUBLE_EQ(result.MeanReplication(), 1.3);
+}
+
+TEST(ComparisonTest, AdEnergySavings) {
+  Comparison comparison;
+  comparison.baseline.energy = MakeBreakdown(100.0, 0.0, 0.0, 50.0, 0.0);
+  comparison.pad.energy = MakeBreakdown(10.0, 20.0, 5.0, 50.0, 0.0);
+  // Baseline ad = 100, PAD ad = 35 -> 65% savings.
+  EXPECT_DOUBLE_EQ(comparison.AdEnergySavings(), 0.65);
+}
+
+TEST(ComparisonTest, SavingsZeroWhenBaselineHasNoAdEnergy) {
+  Comparison comparison;
+  comparison.pad.energy = MakeBreakdown(10.0, 0.0, 0.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(comparison.AdEnergySavings(), 0.0);
+}
+
+TEST(ComparisonTest, RevenueRatio) {
+  Comparison comparison;
+  comparison.baseline.ledger.billed_revenue = 200.0;
+  comparison.pad.ledger.billed_revenue = 190.0;
+  EXPECT_DOUBLE_EQ(comparison.RevenueRatio(), 0.95);
+}
+
+TEST(ComparisonTest, NegativeSavingsPossible) {
+  Comparison comparison;
+  comparison.baseline.energy = MakeBreakdown(50.0, 0.0, 0.0, 0.0, 0.0);
+  comparison.pad.energy = MakeBreakdown(40.0, 30.0, 0.0, 0.0, 0.0);
+  EXPECT_LT(comparison.AdEnergySavings(), 0.0);
+}
+
+}  // namespace
+}  // namespace pad

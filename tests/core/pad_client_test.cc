@@ -1,0 +1,205 @@
+#include "src/core/pad_client.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/units.h"
+#include "src/prediction/predictors.h"
+
+namespace pad {
+namespace {
+
+PadConfig TestConfig() {
+  PadConfig config;
+  config.prediction_window_s = kHour;
+  config.deadline_s = kHour;
+  config.ad_bytes = 3.0 * kKiB;
+  config.slot_report_bytes = 400.0;
+  config.invalidation_bytes = 16.0;
+  return config;
+}
+
+Exchange RichExchange() {
+  Campaign campaign;
+  campaign.campaign_id = 1;
+  campaign.arrival_time = 0.0;
+  campaign.bid_per_impression = 0.002;
+  campaign.target_impressions = 1'000'000;
+  campaign.display_deadline_s = kHour;
+  return Exchange(ExchangeConfig{}, {campaign});
+}
+
+CachedAd Ad(int64_t id, double deadline) { return CachedAd{id, 1, deadline, 3.0 * kKiB}; }
+
+TEST(PadClientTest, StartWindowComputesRates) {
+  const PadConfig config = TestConfig();
+  auto predictor = std::make_unique<OraclePredictor>(std::vector<int>{6, 12});
+  PadClient client(0, /*segment=*/0, config, std::move(predictor));
+  client.StartWindow(0.0, 0);
+  EXPECT_DOUBLE_EQ(client.predicted_rate(), 6.0 / kHour);
+  client.StartWindow(kHour, 1);
+  EXPECT_DOUBLE_EQ(client.predicted_rate(), 12.0 / kHour);
+}
+
+TEST(PadClientTest, ObservationsFeedPredictor) {
+  const PadConfig config = TestConfig();
+  auto predictor = std::make_unique<LastValuePredictor>();
+  PadClient client(0, /*segment=*/0, config, std::move(predictor));
+  Exchange exchange = RichExchange();
+  ServiceStats stats;
+
+  client.StartWindow(0.0, 0);
+  // Three slots in window 0.
+  client.OnSlot(10.0, exchange, stats);
+  client.OnSlot(20.0, exchange, stats);
+  client.OnSlot(30.0, exchange, stats);
+  client.StartWindow(kHour, 1);
+  // LastValue now predicts 3 slots/window.
+  EXPECT_NEAR(client.predicted_rate(), 3.0 / kHour, 1e-12);
+}
+
+TEST(PadClientTest, CacheServedSlotCausesNoRadioTraffic) {
+  const PadConfig config = TestConfig();
+  PadClient client(0, /*segment=*/0, config, std::make_unique<LastValuePredictor>());
+  Exchange exchange = RichExchange();
+  ServiceStats stats;
+
+  client.ReceiveAds(0.0, std::vector<CachedAd>{Ad(500, kHour)});
+  // The pending bundle downloads at the slot (one prefetch transfer), and
+  // the display itself adds nothing.
+  client.OnSlot(10.0, exchange, stats);
+  EXPECT_EQ(stats.served_from_cache, 1);
+  EXPECT_EQ(stats.fallback_fetches, 0);
+  const EnergyReport& report = client.radio_report();
+  EXPECT_EQ(report.For(TrafficCategory::kAdPrefetch).transfers, 1);
+  EXPECT_EQ(report.For(TrafficCategory::kAdFetch).transfers, 0);
+}
+
+TEST(PadClientTest, SecondSlotServedWithNoFurtherTraffic) {
+  const PadConfig config = TestConfig();
+  PadClient client(0, /*segment=*/0, config, std::make_unique<LastValuePredictor>());
+  Exchange exchange = RichExchange();
+  ServiceStats stats;
+
+  client.ReceiveAds(0.0, std::vector<CachedAd>{Ad(500, kHour), Ad(501, kHour)});
+  client.OnSlot(10.0, exchange, stats);
+  client.OnSlot(20.0, exchange, stats);
+  EXPECT_EQ(stats.served_from_cache, 2);
+  // Both ads arrived in the single bundle fetch.
+  EXPECT_EQ(client.radio_report().For(TrafficCategory::kAdPrefetch).transfers, 1);
+}
+
+TEST(PadClientTest, DryCacheFallsBackToOnDemand) {
+  const PadConfig config = TestConfig();
+  PadClient client(0, /*segment=*/0, config, std::make_unique<LastValuePredictor>());
+  Exchange exchange = RichExchange();
+  ServiceStats stats;
+
+  client.OnSlot(10.0, exchange, stats);
+  EXPECT_EQ(stats.fallback_fetches, 1);
+  EXPECT_EQ(stats.served_from_cache, 0);
+  EXPECT_EQ(client.radio_report().For(TrafficCategory::kAdFetch).transfers, 1);
+  // The fallback sale displays instantly and bills.
+  EXPECT_EQ(exchange.ledger().totals().billed, 1);
+}
+
+TEST(PadClientTest, NoDemandMeansUnfilledSlot) {
+  const PadConfig config = TestConfig();
+  PadClient client(0, /*segment=*/0, config, std::make_unique<LastValuePredictor>());
+  Exchange exchange(ExchangeConfig{}, {});  // Empty market.
+  ServiceStats stats;
+  client.OnSlot(10.0, exchange, stats);
+  EXPECT_EQ(stats.unfilled, 1);
+  EXPECT_EQ(client.radio_report().total_transfers(), 0);
+}
+
+TEST(PadClientTest, ExpiredPendingAdsNeverDownloaded) {
+  const PadConfig config = TestConfig();
+  PadClient client(0, /*segment=*/0, config, std::make_unique<LastValuePredictor>());
+  Exchange exchange = RichExchange();
+  ServiceStats stats;
+
+  client.ReceiveAds(0.0, std::vector<CachedAd>{Ad(500, 100.0)});
+  // Slot long after the pending ad's deadline: bundle is dropped for free,
+  // slot falls back to on-demand.
+  client.OnSlot(5000.0, exchange, stats);
+  EXPECT_EQ(stats.fallback_fetches, 1);
+  EXPECT_EQ(client.radio_report().For(TrafficCategory::kAdPrefetch).transfers, 0);
+}
+
+TEST(PadClientTest, SlotReportRidesNextTransfer) {
+  const PadConfig config = TestConfig();
+  PadClient client(0, /*segment=*/0, config, std::make_unique<LastValuePredictor>());
+
+  client.StartWindow(0.0, 0);
+  // No traffic yet: the report is pending, not sent.
+  EXPECT_EQ(client.radio_report().For(TrafficCategory::kSlotReport).transfers, 0);
+  // A content transfer flushes it at the same instant (shared wakeup).
+  client.OnContentTransfer(Transfer{.request_time = 100.0,
+                                    .bytes = 1000.0,
+                                    .direction = Direction::kDownlink,
+                                    .category = TrafficCategory::kAppContent});
+  const EnergyReport& report = client.radio_report();
+  EXPECT_EQ(report.For(TrafficCategory::kSlotReport).transfers, 1);
+  EXPECT_DOUBLE_EQ(report.For(TrafficCategory::kSlotReport).bytes, 400.0);
+}
+
+TEST(PadClientTest, UnsentReportSupersededNextWindow) {
+  const PadConfig config = TestConfig();
+  PadClient client(0, /*segment=*/0, config, std::make_unique<LastValuePredictor>());
+  client.StartWindow(0.0, 0);
+  client.StartWindow(kHour, 1);  // Idle client: first report never sent.
+  client.OnContentTransfer(Transfer{.request_time = 2.0 * kHour,
+                                    .bytes = 1000.0,
+                                    .direction = Direction::kDownlink,
+                                    .category = TrafficCategory::kAppContent});
+  // Only one report's bytes went out.
+  EXPECT_DOUBLE_EQ(client.radio_report().For(TrafficCategory::kSlotReport).bytes, 400.0);
+}
+
+TEST(PadClientTest, SyncCacheInvalidatesFetchedAndPending) {
+  const PadConfig config = TestConfig();
+  PadClient client(0, /*segment=*/0, config, std::make_unique<LastValuePredictor>());
+  Exchange exchange = RichExchange();
+  ServiceStats stats;
+
+  // Fetch ad 1 into the cache (slot at t=10 displays ad 1) and leave ad 2 cached.
+  client.ReceiveAds(0.0, std::vector<CachedAd>{Ad(1, kHour), Ad(2, kHour)});
+  client.OnSlot(10.0, exchange, stats);
+  EXPECT_EQ(client.cache_size(), 1);
+  // Ad 3 still pending (never fetched).
+  client.ReceiveAds(20.0, std::vector<CachedAd>{Ad(3, kHour)});
+  EXPECT_EQ(client.cache_size(), 2);
+
+  client.SyncCache(30.0, {2, 3});
+  EXPECT_EQ(client.cache_size(), 0);
+}
+
+TEST(PadClientTest, InvalidationBytesChargedOnlyForFetchedReplicas) {
+  const PadConfig config = TestConfig();
+  PadClient client(0, /*segment=*/0, config, std::make_unique<LastValuePredictor>());
+  Exchange exchange = RichExchange();
+  ServiceStats stats;
+
+  client.ReceiveAds(0.0, std::vector<CachedAd>{Ad(1, kHour), Ad(2, kHour)});
+  client.OnSlot(10.0, exchange, stats);  // Fetches both, displays ad 1.
+  client.SyncCache(30.0, {2});
+  // Invalidation bytes are pending; flush them via a fallback fetch.
+  client.OnSlot(40.0, exchange, stats);
+  EXPECT_DOUBLE_EQ(client.radio_report().For(TrafficCategory::kSlotReport).bytes, 16.0);
+}
+
+TEST(PadClientTest, FinishRadioClosesTail) {
+  const PadConfig config = TestConfig();
+  PadClient client(0, /*segment=*/0, config, std::make_unique<LastValuePredictor>());
+  Exchange exchange = RichExchange();
+  ServiceStats stats;
+  client.OnSlot(10.0, exchange, stats);  // One fallback fetch.
+  client.FinishRadio(10.0 * kHour);
+  EXPECT_NEAR(client.radio_report().total_energy_j(),
+              config.radio.IsolatedTransferEnergy(config.ad_bytes, false), 1e-9);
+}
+
+}  // namespace
+}  // namespace pad

@@ -1,0 +1,133 @@
+// Targeting and diversity behaviour of the PAD server's dispatcher.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/core/pad_server.h"
+#include "src/prediction/predictors.h"
+
+namespace pad {
+namespace {
+
+struct Harness {
+  // clients_per_segment[s] clients in each segment, each predicting
+  // `slots_per_window` slots with an oracle.
+  Harness(std::vector<int> clients_per_segment, int slots_per_window, PadConfig config_in,
+          std::vector<Campaign> campaigns)
+      : config(std::move(config_in)) {
+    config.population.num_segments = static_cast<int>(clients_per_segment.size());
+    ExchangeConfig exchange_config;
+    exchange_config.num_segments = config.population.num_segments;
+    exchange = std::make_unique<Exchange>(exchange_config, std::move(campaigns));
+    int id = 0;
+    for (size_t s = 0; s < clients_per_segment.size(); ++s) {
+      for (int c = 0; c < clients_per_segment[s]; ++c) {
+        clients.push_back(std::make_unique<PadClient>(
+            id++, static_cast<int>(s), config,
+            std::make_unique<OraclePredictor>(std::vector<int>(100, slots_per_window))));
+      }
+    }
+    server = std::make_unique<PadServer>(config, clients, *exchange, 5);
+  }
+
+  void RunFirstEpoch() {
+    for (auto& client : clients) {
+      client->StartWindow(0.0, 0);
+    }
+    server->RunEpoch(0.0);
+  }
+
+  PadConfig config;
+  std::vector<std::unique_ptr<PadClient>> clients;
+  std::unique_ptr<Exchange> exchange;
+  std::unique_ptr<PadServer> server;
+};
+
+PadConfig BaseConfig() {
+  PadConfig config;
+  config.prediction_window_s = kHour;
+  config.deadline_s = 3.0 * kHour;
+  config.capacity_confidence = 0.5;
+  return config;
+}
+
+Campaign TargetedCampaign(int64_t id, uint32_t mask, int64_t target = 1'000'000,
+                          double cpm = 2.0) {
+  Campaign campaign;
+  campaign.campaign_id = id;
+  campaign.arrival_time = 0.0;
+  campaign.bid_per_impression = cpm / 1000.0;
+  campaign.target_impressions = target;
+  campaign.display_deadline_s = 3.0 * kHour;
+  campaign.segment_mask = mask;
+  return campaign;
+}
+
+TEST(TargetingDispatchTest, ReplicasStayInsideTargetedSegments) {
+  // All demand targets segment 1; segment-0 clients must receive nothing.
+  Harness harness({3, 3}, 4, BaseConfig(), {TargetedCampaign(1, 0b10u)});
+  harness.RunFirstEpoch();
+  ASSERT_GT(harness.server->impressions_sold(), 0);
+  for (size_t c = 0; c < harness.clients.size(); ++c) {
+    if (harness.clients[c]->segment() == 0) {
+      EXPECT_EQ(harness.clients[c]->cache_size(), 0) << "segment-0 client got a targeted ad";
+    }
+  }
+  int64_t segment1_cached = 0;
+  for (const auto& client : harness.clients) {
+    if (client->segment() == 1) {
+      segment1_cached += client->cache_size();
+    }
+  }
+  EXPECT_EQ(segment1_cached, harness.server->impressions_dispatched());
+}
+
+TEST(TargetingDispatchTest, RunOfNetworkUsesAllSegments) {
+  Harness harness({3, 3}, 4, BaseConfig(), {TargetedCampaign(1, kAllSegments)});
+  harness.RunFirstEpoch();
+  // Both segments' inventory sells (12 predicted slots per segment).
+  EXPECT_EQ(harness.server->impressions_sold(), 24);
+}
+
+TEST(TargetingDispatchTest, TargetedDemandOnlyBuysItsSegmentInventory) {
+  // Campaign targets segment 0; segment 1's predicted slots find no buyer.
+  Harness harness({2, 2}, 5, BaseConfig(), {TargetedCampaign(1, 0b01u)});
+  harness.RunFirstEpoch();
+  EXPECT_EQ(harness.server->impressions_sold(), 10);  // Segment 0 only.
+}
+
+TEST(TargetingDispatchTest, DiversityCapLimitsReplicasPerClient) {
+  // One campaign with a per-day cap of 1: a client may hold at most one of
+  // its replicas per dispatch even when it has far more capacity.
+  Campaign campaign = TargetedCampaign(1, kAllSegments);
+  campaign.frequency_cap_per_day = 1;
+  PadConfig config = BaseConfig();
+  Harness harness({1}, 6, config, {campaign});
+  harness.RunFirstEpoch();
+  // Six slots predicted, but the single client may hold only one replica of
+  // this campaign.
+  EXPECT_EQ(harness.clients[0]->cache_size(), 1);
+}
+
+TEST(TargetingDispatchTest, UncappedCampaignFillsCapacity) {
+  Harness harness({1}, 6, BaseConfig(), {TargetedCampaign(1, kAllSegments)});
+  harness.RunFirstEpoch();
+  EXPECT_EQ(harness.clients[0]->cache_size(), 6);
+}
+
+TEST(TargetingDispatchTest, MixedCampaignsShareClientUnderCaps) {
+  Campaign capped = TargetedCampaign(1, kAllSegments, /*target=*/2, 5.0);
+  capped.frequency_cap_per_day = 2;
+  Campaign open_campaign = TargetedCampaign(2, kAllSegments, 1'000'000, 1.0);
+  Harness harness({1}, 6, BaseConfig(), {capped, open_campaign});
+  harness.RunFirstEpoch();
+  // The high-bid capped campaign takes its 2 impressions (within the cap);
+  // the remaining 4 slots go to campaign 2.
+  EXPECT_EQ(harness.clients[0]->cache_size(), 6);
+  EXPECT_EQ(harness.server->impressions_sold(), 6);
+}
+
+}  // namespace
+}  // namespace pad

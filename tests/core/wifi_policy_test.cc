@@ -1,0 +1,115 @@
+#include "src/core/wifi_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/units.h"
+#include "src/core/pad_client.h"
+#include "src/core/pad_simulation.h"
+#include "src/prediction/predictors.h"
+
+namespace pad {
+namespace {
+
+TEST(WifiPolicyTest, DisabledIsNeverAvailable) {
+  WifiPolicy policy;  // enabled = false.
+  for (double t = 0.0; t < kDay; t += kHour) {
+    EXPECT_FALSE(WifiAvailableAt(policy, 0, t));
+  }
+}
+
+TEST(WifiPolicyTest, WindowWrapsMidnight) {
+  WifiPolicy policy;
+  policy.enabled = true;
+  policy.home_start_h = 19.0;
+  policy.home_end_h = 8.0;
+  policy.jitter_h = 0.0;
+  EXPECT_TRUE(WifiAvailableAt(policy, 0, 21.0 * kHour));   // Evening.
+  EXPECT_TRUE(WifiAvailableAt(policy, 0, 2.0 * kHour));    // Past midnight.
+  EXPECT_TRUE(WifiAvailableAt(policy, 0, 7.5 * kHour));    // Early morning.
+  EXPECT_FALSE(WifiAvailableAt(policy, 0, 12.0 * kHour));  // Midday.
+  EXPECT_FALSE(WifiAvailableAt(policy, 0, 18.5 * kHour));
+}
+
+TEST(WifiPolicyTest, NonWrappingWindow) {
+  WifiPolicy policy;
+  policy.enabled = true;
+  policy.home_start_h = 9.0;
+  policy.home_end_h = 17.0;
+  policy.jitter_h = 0.0;
+  EXPECT_TRUE(WifiAvailableAt(policy, 0, 12.0 * kHour));
+  EXPECT_FALSE(WifiAvailableAt(policy, 0, 20.0 * kHour));
+}
+
+TEST(WifiPolicyTest, JitterVariesByClientButIsDeterministic) {
+  WifiPolicy policy;
+  policy.enabled = true;
+  policy.jitter_h = 1.0;
+  // At the nominal boundary (19:00), different users flip at different times.
+  int available = 0;
+  for (int client = 0; client < 200; ++client) {
+    if (WifiAvailableAt(policy, client, 19.0 * kHour)) {
+      ++available;
+    }
+    EXPECT_EQ(WifiAvailableAt(policy, client, 19.0 * kHour),
+              WifiAvailableAt(policy, client, 19.0 * kHour + kDay));
+  }
+  EXPECT_GT(available, 40);
+  EXPECT_LT(available, 160);
+}
+
+TEST(WifiPolicyTest, SpansDayBoundaryConsistently) {
+  WifiPolicy policy;
+  policy.enabled = true;
+  policy.jitter_h = 0.0;
+  // Day 5, 23:00 is inside the window just like day 0, 23:00.
+  EXPECT_TRUE(WifiAvailableAt(policy, 0, 5.0 * kDay + 23.0 * kHour));
+}
+
+TEST(WifiClientTest, TransfersRouteToWifiDuringWindow) {
+  PadConfig config;
+  config.prediction_window_s = kHour;
+  config.wifi.enabled = true;
+  config.wifi.jitter_h = 0.0;
+  PadClient client(0, 0, config, std::make_unique<LastValuePredictor>());
+
+  // Midday content: cellular. Evening content: WiFi.
+  client.OnContentTransfer(Transfer{.request_time = 12.0 * kHour,
+                                    .bytes = 1000.0,
+                                    .direction = Direction::kDownlink,
+                                    .category = TrafficCategory::kAppContent});
+  client.OnContentTransfer(Transfer{.request_time = 21.0 * kHour,
+                                    .bytes = 1000.0,
+                                    .direction = Direction::kDownlink,
+                                    .category = TrafficCategory::kAppContent});
+  client.FinishRadio(2.0 * kDay);
+  EXPECT_EQ(client.cell_report().For(TrafficCategory::kAppContent).transfers, 1);
+  EXPECT_EQ(client.wifi_report().For(TrafficCategory::kAppContent).transfers, 1);
+  // Combined view sees both.
+  EXPECT_EQ(client.radio_report().For(TrafficCategory::kAppContent).transfers, 2);
+  // WiFi leg is far cheaper than the cellular leg.
+  EXPECT_LT(client.wifi_report().total_energy_j(),
+            client.cell_report().total_energy_j() / 10.0);
+}
+
+TEST(WifiEndToEndTest, OffloadCutsAbsoluteAdEnergyForBoth) {
+  PadConfig config = QuickConfig();
+  config.population.num_users = 60;
+  const SimInputs inputs = GenerateInputs(config);
+
+  const BaselineResult cell_baseline = RunBaseline(config, inputs);
+  const PadRunResult cell_pad = RunPad(config, inputs);
+  config.wifi.enabled = true;
+  const BaselineResult wifi_baseline = RunBaseline(config, inputs);
+  const PadRunResult wifi_pad = RunPad(config, inputs);
+
+  EXPECT_LT(wifi_baseline.energy.AdEnergyJ(), cell_baseline.energy.AdEnergyJ());
+  EXPECT_LT(wifi_pad.energy.AdEnergyJ(), cell_pad.energy.AdEnergyJ());
+  // Market outcomes are radio-independent.
+  EXPECT_EQ(wifi_pad.ledger.billed, cell_pad.ledger.billed);
+  EXPECT_EQ(wifi_pad.service.slots, cell_pad.service.slots);
+}
+
+}  // namespace
+}  // namespace pad

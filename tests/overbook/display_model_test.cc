@@ -1,0 +1,119 @@
+#include "src/overbook/display_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/overbook/poisson_binomial.h"
+
+namespace pad {
+namespace {
+
+ClientSlotEstimate Estimate(double rate_per_hour, int queue, double var_per_hour = -1.0) {
+  ClientSlotEstimate estimate;
+  estimate.slots_per_s = rate_per_hour / 3600.0;
+  estimate.var_per_s = (var_per_hour < 0.0 ? rate_per_hour : var_per_hour) / 3600.0;
+  estimate.queue_ahead = queue;
+  return estimate;
+}
+
+TEST(DisplayModelTest, PoissonCaseMatchesTail) {
+  // Variance == mean: plain Poisson. Rate 2/hour, 1 h deadline, empty queue.
+  const double p = DisplayProbability(Estimate(2.0, 0), 3600.0);
+  EXPECT_NEAR(p, 1.0 - std::exp(-2.0), 1e-9);
+}
+
+TEST(DisplayModelTest, ZeroRateNeverDisplays) {
+  EXPECT_DOUBLE_EQ(DisplayProbability(Estimate(0.0, 0), 3600.0), 0.0);
+}
+
+TEST(DisplayModelTest, ZeroDeadlineNeverDisplays) {
+  EXPECT_DOUBLE_EQ(DisplayProbability(Estimate(10.0, 0), 0.0), 0.0);
+}
+
+TEST(DisplayModelTest, MonotoneInRate) {
+  double prev = 0.0;
+  for (double rate = 0.5; rate <= 20.0; rate += 0.5) {
+    const double p = DisplayProbability(Estimate(rate, 2), 3600.0);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(DisplayModelTest, MonotoneDecreasingInQueue) {
+  double prev = 1.0;
+  for (int queue = 0; queue <= 20; ++queue) {
+    const double p = DisplayProbability(Estimate(5.0, queue), 3600.0);
+    EXPECT_LE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(DisplayModelTest, MonotoneInDeadline) {
+  double prev = 0.0;
+  for (double deadline = 600.0; deadline <= 4.0 * 3600.0; deadline += 600.0) {
+    const double p = DisplayProbability(Estimate(3.0, 1), deadline);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(DisplayModelTest, OverdispersionLowersHeadProbability) {
+  // Bursty slots (variance >> mean) make "at least one slot soon" less
+  // likely than Poisson predicts — the key calibration fact.
+  const double poisson = DisplayProbability(Estimate(2.0, 0, 2.0), 3600.0);
+  const double bursty = DisplayProbability(Estimate(2.0, 0, 12.0), 3600.0);
+  EXPECT_LT(bursty, poisson);
+}
+
+TEST(DisplayModelTest, DiscountScalesProbability) {
+  const ClientSlotEstimate estimate = Estimate(5.0, 0);
+  const double full = DisplayProbability(estimate, 3600.0);
+  EXPECT_NEAR(DiscountedDisplayProbability(estimate, 3600.0, 0.5), full * 0.5, 1e-12);
+  EXPECT_NEAR(DiscountedDisplayProbability(estimate, 3600.0, 1.0), full, 1e-12);
+}
+
+TEST(ConfidentCapacityTest, ZeroRateZeroCapacity) {
+  EXPECT_EQ(ConfidentCapacity(Estimate(0.0, 0), 3600.0, 0.9), 0);
+}
+
+TEST(ConfidentCapacityTest, CapacityConsistentWithTail) {
+  const ClientSlotEstimate estimate = Estimate(10.0, 0);
+  for (double confidence : {0.5, 0.8, 0.95}) {
+    const int capacity = ConfidentCapacity(estimate, 3600.0, confidence);
+    // P(X >= capacity) >= confidence, P(X >= capacity + 1) < confidence.
+    EXPECT_GE(OverdispersedTailGeq(10.0, 10.0, capacity), confidence);
+    EXPECT_LT(OverdispersedTailGeq(10.0, 10.0, capacity + 1), confidence);
+  }
+}
+
+TEST(ConfidentCapacityTest, MonotoneInConfidence) {
+  const ClientSlotEstimate estimate = Estimate(8.0, 0);
+  int prev = 1000;
+  for (double confidence : {0.3, 0.5, 0.7, 0.9, 0.99}) {
+    const int capacity = ConfidentCapacity(estimate, 3600.0, confidence);
+    EXPECT_LE(capacity, prev);
+    prev = capacity;
+  }
+}
+
+TEST(ConfidentCapacityTest, GrowsWithDeadline) {
+  const ClientSlotEstimate estimate = Estimate(6.0, 0);
+  EXPECT_LT(ConfidentCapacity(estimate, 1800.0, 0.5), ConfidentCapacity(estimate, 7200.0, 0.5));
+}
+
+TEST(ConfidentCapacityTest, BurstinessShrinksCapacity) {
+  EXPECT_LE(ConfidentCapacity(Estimate(10.0, 0, 50.0), 3600.0, 0.8),
+            ConfidentCapacity(Estimate(10.0, 0, 10.0), 3600.0, 0.8));
+}
+
+TEST(DisplayModelDeathTest, NegativeInputsAbort) {
+  ClientSlotEstimate estimate = Estimate(5.0, 0);
+  estimate.slots_per_s = -1.0;
+  EXPECT_DEATH(DisplayProbability(estimate, 3600.0), "slots_per_s");
+  estimate = Estimate(5.0, -1);
+  EXPECT_DEATH(DisplayProbability(estimate, 3600.0), "queue_ahead");
+}
+
+}  // namespace
+}  // namespace pad

@@ -1,0 +1,190 @@
+#include "src/overbook/poisson_binomial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace pad {
+namespace {
+
+TEST(PoissonBinomialTest, EmptyPmfIsPointMassAtZero) {
+  const auto pmf = PoissonBinomialPmf({});
+  ASSERT_EQ(pmf.size(), 1u);
+  EXPECT_DOUBLE_EQ(pmf[0], 1.0);
+}
+
+TEST(PoissonBinomialTest, SingleTrial) {
+  const std::vector<double> probs = {0.3};
+  const auto pmf = PoissonBinomialPmf(probs);
+  ASSERT_EQ(pmf.size(), 2u);
+  EXPECT_NEAR(pmf[0], 0.7, 1e-12);
+  EXPECT_NEAR(pmf[1], 0.3, 1e-12);
+}
+
+TEST(PoissonBinomialTest, PmfSumsToOne) {
+  const std::vector<double> probs = {0.1, 0.5, 0.9, 0.3, 0.7, 0.25};
+  const auto pmf = PoissonBinomialPmf(probs);
+  double total = 0.0;
+  for (double p : pmf) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(PoissonBinomialTest, EqualProbsMatchBinomial) {
+  const std::vector<double> probs(12, 0.4);
+  for (int k = 0; k <= 13; ++k) {
+    EXPECT_NEAR(PoissonBinomialTailGeq(probs, k), BinomialTailGeq(12, 0.4, k), 1e-10)
+        << "k=" << k;
+  }
+}
+
+TEST(PoissonBinomialTest, TailBoundaries) {
+  const std::vector<double> probs = {0.5, 0.5};
+  EXPECT_DOUBLE_EQ(PoissonBinomialTailGeq(probs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(PoissonBinomialTailGeq(probs, -3), 1.0);
+  EXPECT_DOUBLE_EQ(PoissonBinomialTailGeq(probs, 3), 0.0);
+  EXPECT_NEAR(PoissonBinomialTailGeq(probs, 1), 0.75, 1e-12);
+  EXPECT_NEAR(PoissonBinomialTailGeq(probs, 2), 0.25, 1e-12);
+}
+
+TEST(PoissonBinomialTest, TailAtLeastOneIsComplementOfAllMisses) {
+  const std::vector<double> probs = {0.2, 0.4, 0.6};
+  const double all_miss = 0.8 * 0.6 * 0.4;
+  EXPECT_NEAR(PoissonBinomialTailGeq(probs, 1), 1.0 - all_miss, 1e-12);
+}
+
+TEST(PoissonBinomialTest, MeanAndVariance) {
+  const std::vector<double> probs = {0.2, 0.5, 0.9};
+  EXPECT_NEAR(PoissonBinomialMean(probs), 1.6, 1e-12);
+  EXPECT_NEAR(PoissonBinomialVariance(probs), 0.2 * 0.8 + 0.25 + 0.9 * 0.1, 1e-12);
+}
+
+TEST(PoissonBinomialTest, TailMonotoneInK) {
+  const std::vector<double> probs = {0.3, 0.6, 0.8, 0.2, 0.5};
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_GE(PoissonBinomialTailGeq(probs, k), PoissonBinomialTailGeq(probs, k + 1));
+  }
+}
+
+TEST(PoissonBinomialTest, TailMonotoneInProbabilities) {
+  std::vector<double> low = {0.2, 0.3, 0.4};
+  std::vector<double> high = {0.3, 0.4, 0.5};
+  for (int k = 1; k <= 3; ++k) {
+    EXPECT_LE(PoissonBinomialTailGeq(low, k), PoissonBinomialTailGeq(high, k));
+  }
+}
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+class NormalApproxTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormalApproxTest, CloseToExactForModerateN) {
+  const int n = GetParam();
+  Rng rng(42 + n);
+  std::vector<double> probs;
+  for (int i = 0; i < n; ++i) {
+    probs.push_back(rng.Uniform(0.2, 0.8));
+  }
+  const double mean = PoissonBinomialMean(probs);
+  for (int k : {static_cast<int>(mean) - 2, static_cast<int>(mean), static_cast<int>(mean) + 2}) {
+    if (k < 0 || k > n) {
+      continue;
+    }
+    EXPECT_NEAR(PoissonBinomialTailGeqNormal(probs, k), PoissonBinomialTailGeq(probs, k), 0.05)
+        << "n=" << n << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NormalApproxTest, ::testing::Values(10, 20, 50, 100));
+
+TEST(NormalApproxTest, DegenerateVarianceHandled) {
+  const std::vector<double> certain = {1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(PoissonBinomialTailGeqNormal(certain, 3), 1.0);
+  EXPECT_DOUBLE_EQ(PoissonBinomialTailGeqNormal(certain, 4), 0.0);
+}
+
+TEST(BinomialTailTest, ClosedFormCases) {
+  EXPECT_NEAR(BinomialTailGeq(3, 0.5, 2), 0.5, 1e-12);          // HHx patterns.
+  EXPECT_NEAR(BinomialTailGeq(2, 0.3, 1), 1.0 - 0.49, 1e-12);   // 1 - (0.7)^2.
+  EXPECT_DOUBLE_EQ(BinomialTailGeq(5, 0.3, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialTailGeq(5, 0.3, 6), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialTailGeq(5, 1.0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialTailGeq(5, 0.0, 1), 0.0);
+}
+
+TEST(PoissonTailTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(PoissonTailGeq(2.0, 0), 1.0);
+  EXPECT_NEAR(PoissonTailGeq(2.0, 1), 1.0 - std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(PoissonTailGeq(2.0, 2), 1.0 - 3.0 * std::exp(-2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(PoissonTailGeq(0.0, 1), 0.0);
+}
+
+TEST(PoissonTailTest, MonotoneInLambda) {
+  for (int k = 1; k <= 5; ++k) {
+    double prev = 0.0;
+    for (double lambda = 0.5; lambda <= 10.0; lambda += 0.5) {
+      const double tail = PoissonTailGeq(lambda, k);
+      EXPECT_GE(tail, prev);
+      prev = tail;
+    }
+  }
+}
+
+TEST(OverdispersedTailTest, VarianceEqualMeanIsPoisson) {
+  EXPECT_NEAR(OverdispersedTailGeq(3.0, 3.0, 2), PoissonTailGeq(3.0, 2), 1e-12);
+  EXPECT_NEAR(OverdispersedTailGeq(3.0, 2.0, 2), PoissonTailGeq(3.0, 2), 1e-12);
+}
+
+TEST(OverdispersedTailTest, ZeroVarianceIsDeterministic) {
+  EXPECT_DOUBLE_EQ(OverdispersedTailGeq(5.0, 0.0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(OverdispersedTailGeq(5.0, 0.0, 6), 0.0);
+}
+
+TEST(OverdispersedTailTest, Boundaries) {
+  EXPECT_DOUBLE_EQ(OverdispersedTailGeq(5.0, 20.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(OverdispersedTailGeq(0.0, 0.0, 1), 0.0);
+}
+
+TEST(OverdispersedTailTest, NegativeBinomialMatchesMonteCarlo) {
+  // NB with mean 6, variance 24: p = 0.25, r = 2.
+  const double mean = 6.0;
+  const double variance = 24.0;
+  Rng rng(77);
+  // Sample NB(r=2, p) as sum of 2 geometric counts via inversion on Poisson-
+  // Gamma mixture: N | G ~ Poisson(G), G ~ Gamma(r, scale = (v-m)/m = 3).
+  // Gamma(2, 3) = sum of two Exp(1/3).
+  const int trials = 200000;
+  std::vector<int> tail_counts(15, 0);
+  for (int t = 0; t < trials; ++t) {
+    const double g = (rng.Exponential(1.0) + rng.Exponential(1.0)) * 3.0;
+    const int x = rng.Poisson(g);
+    for (int k = 0; k < 15; ++k) {
+      if (x >= k) {
+        ++tail_counts[static_cast<size_t>(k)];
+      }
+    }
+  }
+  for (int k = 1; k < 15; ++k) {
+    const double monte_carlo = static_cast<double>(tail_counts[static_cast<size_t>(k)]) / trials;
+    EXPECT_NEAR(OverdispersedTailGeq(mean, variance, k), monte_carlo, 0.01) << "k=" << k;
+  }
+}
+
+TEST(OverdispersedTailTest, MoreVarianceFattensUpperTail) {
+  // Same mean, more variance: deep tail probabilities grow.
+  EXPECT_GT(OverdispersedTailGeq(4.0, 40.0, 12), OverdispersedTailGeq(4.0, 8.0, 12));
+  // ...but the near-mean tail shrinks (mass moves to zero).
+  EXPECT_LT(OverdispersedTailGeq(4.0, 40.0, 1), OverdispersedTailGeq(4.0, 8.0, 1));
+}
+
+}  // namespace
+}  // namespace pad

@@ -1,0 +1,84 @@
+#include "src/prediction/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/prediction/predictors.h"
+
+namespace pad {
+namespace {
+
+TEST(EvaluationTest, OracleHasZeroError) {
+  const std::vector<int> series = {3, 1, 4, 1, 5, 9, 2, 6};
+  OraclePredictor oracle(series);
+  const PredictionEval eval = EvaluatePredictor(oracle, series, /*warmup_windows=*/0);
+  EXPECT_EQ(eval.windows_scored, 8);
+  EXPECT_DOUBLE_EQ(eval.abs_error.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(eval.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(eval.over_rate, 0.0);
+  EXPECT_DOUBLE_EQ(eval.under_rate, 0.0);
+  EXPECT_DOUBLE_EQ(eval.total_predicted, eval.total_actual);
+}
+
+TEST(EvaluationTest, WarmupWindowsNotScored) {
+  const std::vector<int> series = {10, 10, 10, 10};
+  LastValuePredictor predictor;
+  const PredictionEval eval = EvaluatePredictor(predictor, series, /*warmup_windows=*/2);
+  EXPECT_EQ(eval.windows_scored, 2);
+  // After warmup, last-value predicts 10 exactly.
+  EXPECT_DOUBLE_EQ(eval.abs_error.mean(), 0.0);
+}
+
+TEST(EvaluationTest, LastValueErrorOnAlternatingSeries) {
+  // Series 0,4,0,4,... last-value is always wrong by 4 after the first.
+  std::vector<int> series;
+  for (int i = 0; i < 20; ++i) {
+    series.push_back((i % 2) * 4);
+  }
+  LastValuePredictor predictor;
+  const PredictionEval eval = EvaluatePredictor(predictor, series, /*warmup_windows=*/1);
+  EXPECT_NEAR(eval.abs_error.mean(), 4.0, 1e-9);
+  EXPECT_NEAR(eval.rmse, 4.0, 1e-9);
+  // Over-predicts on the 0 windows, under-predicts on the 4 windows.
+  EXPECT_NEAR(eval.over_rate + eval.under_rate, 1.0, 1e-9);
+}
+
+TEST(EvaluationTest, SignedErrorDistinguishesBias) {
+  // Constant over-predictor: oracle on a shifted series.
+  const std::vector<int> actual = {2, 2, 2, 2};
+  OraclePredictor over({5, 5, 5, 5});
+  const PredictionEval eval = EvaluatePredictor(over, actual, 0);
+  EXPECT_DOUBLE_EQ(eval.signed_error.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(eval.over_rate, 1.0);
+  EXPECT_DOUBLE_EQ(eval.under_rate, 0.0);
+  EXPECT_DOUBLE_EQ(eval.total_predicted, 20.0);
+  EXPECT_DOUBLE_EQ(eval.total_actual, 8.0);
+}
+
+TEST(EvaluationTest, RelativeErrorGuardsZeroActual) {
+  OraclePredictor over({3});
+  const std::vector<int> actual = {0};
+  const PredictionEval eval = EvaluatePredictor(over, actual, 0);
+  // |3 - 0| / max(0, 1) = 3.
+  EXPECT_DOUBLE_EQ(eval.relative_error.mean(), 3.0);
+}
+
+TEST(EvaluationTest, EmptySeriesScoresNothing) {
+  LastValuePredictor predictor;
+  const PredictionEval eval = EvaluatePredictor(predictor, {}, 0);
+  EXPECT_EQ(eval.windows_scored, 0);
+  EXPECT_DOUBLE_EQ(eval.rmse, 0.0);
+}
+
+TEST(EvaluationTest, HalfUnitErrorsCountAsNeither) {
+  // Prediction within +-0.5 of actual counts as neither over nor under.
+  OraclePredictor nearly({4});  // Will predict 4.0 against actual 4.
+  const std::vector<int> actual = {4};
+  const PredictionEval eval = EvaluatePredictor(nearly, actual, 0);
+  EXPECT_DOUBLE_EQ(eval.over_rate, 0.0);
+  EXPECT_DOUBLE_EQ(eval.under_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace pad

@@ -1,0 +1,137 @@
+// Tests for the Markov and weekly-seasonal predictors and the generator's
+// weekend structure they exploit.
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/prediction/evaluation.h"
+#include "src/prediction/predictors.h"
+#include "src/trace/generator.h"
+#include "src/trace/trace_stats.h"
+
+namespace pad {
+namespace {
+
+TEST(MarkovPredictorTest, BucketBoundaries) {
+  EXPECT_EQ(MarkovPredictor::BucketOf(0), 0);
+  EXPECT_EQ(MarkovPredictor::BucketOf(1), 1);
+  EXPECT_EQ(MarkovPredictor::BucketOf(2), 2);
+  EXPECT_EQ(MarkovPredictor::BucketOf(3), 3);
+  EXPECT_EQ(MarkovPredictor::BucketOf(4), 3);
+  EXPECT_EQ(MarkovPredictor::BucketOf(5), 4);
+  EXPECT_EQ(MarkovPredictor::BucketOf(8), 4);
+  EXPECT_EQ(MarkovPredictor::BucketOf(9), 5);
+  EXPECT_EQ(MarkovPredictor::BucketOf(16), 5);
+  EXPECT_EQ(MarkovPredictor::BucketOf(17), 6);
+  EXPECT_EQ(MarkovPredictor::BucketOf(1000), 6);
+}
+
+TEST(MarkovPredictorTest, UnseededPredictsZero) {
+  MarkovPredictor predictor;
+  EXPECT_DOUBLE_EQ(predictor.Predict(0), 0.0);
+  EXPECT_DOUBLE_EQ(predictor.PredictVariance(0), 0.0);
+}
+
+TEST(MarkovPredictorTest, LearnsDeterministicAlternation) {
+  // 0, 10, 0, 10, ... — last-value is maximally wrong, Markov is exact.
+  MarkovPredictor markov;
+  LastValuePredictor last_value;
+  std::vector<int> series;
+  for (int i = 0; i < 60; ++i) {
+    series.push_back((i % 2) * 10);
+  }
+  const PredictionEval markov_eval = EvaluatePredictor(markov, series, 10);
+  const PredictionEval last_eval = EvaluatePredictor(last_value, series, 10);
+  EXPECT_LT(markov_eval.abs_error.mean(), 0.5);
+  EXPECT_GT(last_eval.abs_error.mean(), 9.0);
+}
+
+TEST(MarkovPredictorTest, VarianceReflectsTransitionNoise) {
+  // From bucket 0 the next count is always 4 (certain); from bucket 3-4 the
+  // next count alternates 0 or 8 (noisy).
+  MarkovPredictor predictor;
+  const std::vector<int> series = {0, 4, 0, 4, 8, 0, 4, 8, 0, 4, 0, 4, 8};
+  for (int w = 0; w < static_cast<int>(series.size()); ++w) {
+    predictor.Observe(w, series[static_cast<size_t>(w)]);
+  }
+  // After the last observation (8 -> bucket 4), check both contexts exist.
+  EXPECT_GE(predictor.PredictVariance(100), 0.0);
+}
+
+TEST(MarkovPredictorTest, ConstantSeriesConverges) {
+  MarkovPredictor predictor;
+  for (int w = 0; w < 50; ++w) {
+    predictor.Observe(w, 5);
+  }
+  EXPECT_NEAR(predictor.Predict(50), 5.0, 1e-9);
+  EXPECT_NEAR(predictor.PredictVariance(50), 0.0, 1e-9);
+}
+
+TEST(DayOfWeekPredictorTest, SeparatesWeekendFromWeekday) {
+  // 1 window per day; weekdays 2 slots, weekends 10.
+  auto predictor = MakePredictor(PredictorKind::kDayOfWeek, /*windows_per_day=*/1);
+  for (int day = 0; day < 70; ++day) {
+    predictor->Observe(day, (day % 7 >= 5) ? 10 : 2);
+  }
+  EXPECT_NEAR(predictor->Predict(70), 2.0, 0.01);   // Monday.
+  EXPECT_NEAR(predictor->Predict(75), 10.0, 0.01);  // Saturday.
+}
+
+TEST(DayOfWeekPredictorTest, BeatsDailySeasonalOnWeeklyPattern) {
+  auto weekly = MakePredictor(PredictorKind::kDayOfWeek, 1);
+  auto daily = MakePredictor(PredictorKind::kTimeOfDay, 1);
+  std::vector<int> series;
+  for (int day = 0; day < 140; ++day) {
+    series.push_back((day % 7 >= 5) ? 12 : 3);
+  }
+  const PredictionEval weekly_eval = EvaluatePredictor(*weekly, series, 14);
+  const PredictionEval daily_eval = EvaluatePredictor(*daily, series, 14);
+  EXPECT_LT(weekly_eval.abs_error.mean(), daily_eval.abs_error.mean() / 2.0);
+}
+
+TEST(GeneratorWeeklyTest, WeekendsAreBusier) {
+  PopulationConfig config;
+  config.num_users = 150;
+  config.horizon_s = 28.0 * kDay;
+  config.weekend_rate_multiplier = 1.5;
+  const Population population = GeneratePopulation(config);
+  double weekday_sessions = 0.0;
+  double weekend_sessions = 0.0;
+  for (const UserTrace& user : population.users) {
+    for (const Session& session : user.sessions) {
+      ((DayIndex(session.start_time) % 7 >= 5) ? weekend_sessions : weekday_sessions) += 1.0;
+    }
+  }
+  // 2 weekend days vs 5 weekdays at 1.5x: expect per-day ratio ~1.5.
+  const double ratio = (weekend_sessions / 2.0) / (weekday_sessions / 5.0);
+  EXPECT_NEAR(ratio, 1.5, 0.15);
+}
+
+TEST(GeneratorWeeklyTest, MultiplierOneDisablesStructure) {
+  PopulationConfig config;
+  config.num_users = 150;
+  config.horizon_s = 28.0 * kDay;
+  config.weekend_rate_multiplier = 1.0;
+  config.weekend_phase_shift_h = 0.0;
+  const Population population = GeneratePopulation(config);
+  double weekday_sessions = 0.0;
+  double weekend_sessions = 0.0;
+  for (const UserTrace& user : population.users) {
+    for (const Session& session : user.sessions) {
+      ((DayIndex(session.start_time) % 7 >= 5) ? weekend_sessions : weekday_sessions) += 1.0;
+    }
+  }
+  const double ratio = (weekend_sessions / 2.0) / (weekday_sessions / 5.0);
+  EXPECT_NEAR(ratio, 1.0, 0.1);
+}
+
+TEST(FactoryTest, NewKindsConstruct) {
+  for (PredictorKind kind : {PredictorKind::kDayOfWeek, PredictorKind::kMarkov}) {
+    auto predictor = MakePredictor(kind, 24);
+    ASSERT_NE(predictor, nullptr);
+    EXPECT_FALSE(predictor->name().empty());
+  }
+  EXPECT_EQ(AllPredictorKinds().size(), 9u);
+}
+
+}  // namespace
+}  // namespace pad

@@ -1,0 +1,235 @@
+#include "src/prediction/predictors.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pad {
+namespace {
+
+// Drives the online protocol over a series and returns the prediction made
+// for the final window.
+double FinalPrediction(SlotPredictor& predictor, const std::vector<int>& series) {
+  double last = 0.0;
+  for (int w = 0; w < static_cast<int>(series.size()); ++w) {
+    last = predictor.Predict(w);
+    predictor.Observe(w, series[static_cast<size_t>(w)]);
+  }
+  return last;
+}
+
+TEST(LastValueTest, TracksPreviousObservation) {
+  LastValuePredictor predictor;
+  EXPECT_DOUBLE_EQ(predictor.Predict(0), 0.0);
+  predictor.Observe(0, 7);
+  EXPECT_DOUBLE_EQ(predictor.Predict(1), 7.0);
+  predictor.Observe(1, 2);
+  EXPECT_DOUBLE_EQ(predictor.Predict(2), 2.0);
+}
+
+TEST(SlidingMeanTest, AveragesWindow) {
+  SlidingMeanPredictor predictor(3);
+  predictor.Observe(0, 3);
+  predictor.Observe(1, 6);
+  EXPECT_DOUBLE_EQ(predictor.Predict(2), 4.5);
+  predictor.Observe(2, 9);
+  EXPECT_DOUBLE_EQ(predictor.Predict(3), 6.0);
+  predictor.Observe(3, 12);  // Drops the 3.
+  EXPECT_DOUBLE_EQ(predictor.Predict(4), 9.0);
+}
+
+TEST(SlidingMeanTest, VarianceMatchesSample) {
+  SlidingMeanPredictor predictor(10);
+  for (int count : {2, 4, 6}) {
+    predictor.Observe(0, count);
+  }
+  // Sample variance of {2,4,6} = 4.
+  EXPECT_NEAR(predictor.PredictVariance(0), 4.0, 1e-12);
+}
+
+TEST(EwmaTest, ConvergesToConstant) {
+  EwmaPredictor predictor(0.3);
+  for (int w = 0; w < 50; ++w) {
+    predictor.Observe(w, 5);
+  }
+  EXPECT_NEAR(predictor.Predict(50), 5.0, 1e-6);
+  EXPECT_NEAR(predictor.PredictVariance(50), 0.0, 0.1);
+}
+
+TEST(EwmaTest, SeedsWithFirstObservation) {
+  EwmaPredictor predictor(0.1);
+  predictor.Observe(0, 10);
+  EXPECT_DOUBLE_EQ(predictor.Predict(1), 10.0);
+}
+
+TEST(EwmaTest, RespondsToShift) {
+  EwmaPredictor fast(0.9);
+  EwmaPredictor slow(0.1);
+  for (int w = 0; w < 20; ++w) {
+    fast.Observe(w, w < 10 ? 0 : 10);
+    slow.Observe(w, w < 10 ? 0 : 10);
+  }
+  EXPECT_GT(fast.Predict(20), slow.Predict(20));
+}
+
+TEST(TimeOfDayTest, LearnsSeasonalPattern) {
+  // 4 windows per "day", pattern {0, 2, 8, 1} repeated.
+  const std::vector<int> pattern = {0, 2, 8, 1};
+  TimeOfDayPredictor predictor(4, 0.5);
+  for (int w = 0; w < 40; ++w) {
+    predictor.Observe(w, pattern[static_cast<size_t>(w % 4)]);
+  }
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_NEAR(predictor.Predict(40 + k), pattern[static_cast<size_t>(k)], 0.01);
+  }
+}
+
+TEST(TimeOfDayTest, UnseenSlotFallsBackToGlobal) {
+  TimeOfDayPredictor predictor(4, 0.5);
+  predictor.Observe(0, 6);  // Only window-of-day 0 seen.
+  EXPECT_GT(predictor.Predict(1), 0.0);  // Global fallback, not zero.
+}
+
+TEST(TimeOfDayTest, VarianceReflectsWindowNoise) {
+  TimeOfDayPredictor predictor(2, 0.3);
+  // Window-of-day 0 constant; window-of-day 1 alternates wildly.
+  for (int d = 0; d < 30; ++d) {
+    predictor.Observe(2 * d, 5);
+    predictor.Observe(2 * d + 1, (d % 2 == 0) ? 0 : 10);
+  }
+  EXPECT_LT(predictor.PredictVariance(60), predictor.PredictVariance(61));
+}
+
+TEST(TimeOfDayTest, BeatsEwmaOnSeasonalSeries) {
+  const std::vector<int> pattern = {0, 0, 10, 10, 2, 0};
+  std::vector<int> series;
+  for (int d = 0; d < 30; ++d) {
+    series.insert(series.end(), pattern.begin(), pattern.end());
+  }
+  TimeOfDayPredictor tod(6, 0.3);
+  EwmaPredictor ewma(0.3);
+  double tod_error = 0.0;
+  double ewma_error = 0.0;
+  for (int w = 0; w < static_cast<int>(series.size()); ++w) {
+    const int actual = series[static_cast<size_t>(w)];
+    if (w >= 12) {
+      tod_error += std::fabs(tod.Predict(w) - actual);
+      ewma_error += std::fabs(ewma.Predict(w) - actual);
+    }
+    tod.Observe(w, actual);
+    ewma.Observe(w, actual);
+  }
+  EXPECT_LT(tod_error, ewma_error / 5.0);
+}
+
+TEST(QuantileTest, QuantilesOfHistory) {
+  QuantilePredictor median(1, 0.5);
+  QuantilePredictor low(1, 0.0);
+  QuantilePredictor high(1, 1.0);
+  for (int count : {1, 2, 3, 4, 100}) {
+    median.Observe(0, count);
+    low.Observe(0, count);
+    high.Observe(0, count);
+  }
+  EXPECT_DOUBLE_EQ(median.Predict(5), 3.0);
+  EXPECT_DOUBLE_EQ(low.Predict(5), 1.0);
+  EXPECT_DOUBLE_EQ(high.Predict(5), 100.0);
+}
+
+TEST(QuantileTest, OrderingHolds) {
+  QuantilePredictor q25(1, 0.25);
+  QuantilePredictor q50(1, 0.50);
+  QuantilePredictor q75(1, 0.75);
+  Rng rng(9);
+  for (int i = 0; i < 40; ++i) {
+    const int count = rng.Poisson(6.0);
+    q25.Observe(0, count);
+    q50.Observe(0, count);
+    q75.Observe(0, count);
+  }
+  EXPECT_LE(q25.Predict(40), q50.Predict(40));
+  EXPECT_LE(q50.Predict(40), q75.Predict(40));
+}
+
+TEST(QuantileTest, BoundedHistoryForgetsOldRegime) {
+  QuantilePredictor predictor(1, 0.5, /*max_history_days=*/5);
+  for (int i = 0; i < 50; ++i) {
+    predictor.Observe(0, 100);
+  }
+  for (int i = 0; i < 5; ++i) {
+    predictor.Observe(0, 1);
+  }
+  EXPECT_DOUBLE_EQ(predictor.Predict(55), 1.0);
+}
+
+TEST(QuantileTest, EmptyHistoryPredictsZero) {
+  QuantilePredictor predictor(4, 0.5);
+  EXPECT_DOUBLE_EQ(predictor.Predict(0), 0.0);
+}
+
+TEST(OracleTest, ReturnsTruthAndZeroVariance) {
+  OraclePredictor oracle({3, 1, 4, 1, 5});
+  EXPECT_DOUBLE_EQ(oracle.Predict(0), 3.0);
+  EXPECT_DOUBLE_EQ(oracle.Predict(4), 5.0);
+  EXPECT_DOUBLE_EQ(oracle.Predict(100), 0.0);  // Past the series.
+  EXPECT_DOUBLE_EQ(oracle.PredictVariance(2), 0.0);
+}
+
+TEST(NoisyOracleTest, ZeroSigmaIsExact) {
+  NoisyOraclePredictor oracle({7, 7, 7}, 0.0, 1);
+  EXPECT_DOUBLE_EQ(oracle.Predict(1), 7.0);
+}
+
+TEST(NoisyOracleTest, NoiseIsMeanPreserving) {
+  std::vector<int> truth(4000, 10);
+  NoisyOraclePredictor oracle(truth, 0.5, 2);
+  double sum = 0.0;
+  for (int w = 0; w < 4000; ++w) {
+    sum += oracle.Predict(w);
+  }
+  EXPECT_NEAR(sum / 4000.0, 10.0, 0.3);
+}
+
+TEST(NoisyOracleTest, VarianceMatchesLogNormalFormula) {
+  NoisyOraclePredictor oracle({10}, 0.5, 3);
+  const double expected = 100.0 * (std::exp(0.25) - 1.0);
+  EXPECT_NEAR(oracle.PredictVariance(0), expected, 1e-9);
+}
+
+TEST(FactoryTest, AllKindsConstructAndName) {
+  for (PredictorKind kind : AllPredictorKinds()) {
+    const auto predictor = MakePredictor(kind, 24);
+    ASSERT_NE(predictor, nullptr);
+    EXPECT_FALSE(predictor->name().empty());
+    EXPECT_STRNE(PredictorKindName(kind), "unknown");
+  }
+}
+
+TEST(FactoryTest, PredictionsNeverNegativeOnRandomSeries) {
+  Rng rng(11);
+  std::vector<int> series;
+  for (int i = 0; i < 200; ++i) {
+    series.push_back(rng.Poisson(3.0));
+  }
+  for (PredictorKind kind : AllPredictorKinds()) {
+    const auto predictor = MakePredictor(kind, 24);
+    for (int w = 0; w < 200; ++w) {
+      EXPECT_GE(predictor->Predict(w), 0.0) << PredictorKindName(kind);
+      EXPECT_GE(predictor->PredictVariance(w), 0.0) << PredictorKindName(kind);
+      predictor->Observe(w, series[static_cast<size_t>(w)]);
+    }
+  }
+}
+
+TEST(PredictorsTest, ConstantSeriesPredictedExactlyByAll) {
+  std::vector<int> series(100, 4);
+  for (PredictorKind kind : AllPredictorKinds()) {
+    const auto predictor = MakePredictor(kind, 10);
+    const double final_prediction = FinalPrediction(*predictor, series);
+    EXPECT_NEAR(final_prediction, 4.0, 0.01) << PredictorKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace pad

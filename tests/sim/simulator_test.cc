@@ -1,0 +1,175 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pad {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(3.0, [&] { order.push_back(3); });
+  sim.ScheduleAt(1.0, [&] { order.push_back(1); });
+  sim.ScheduleAt(2.0, [&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.executed_events(), 3);
+}
+
+TEST(SimulatorTest, TiesBreakByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.ScheduleAt(7.5, [&] { seen = sim.now(); });
+  sim.RunAll();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 7.5);
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.ScheduleAt(10.0, [&] {
+    sim.ScheduleAfter(5.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.RunAll();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 15.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int ran = 0;
+  sim.ScheduleAt(1.0, [&] { ++ran; });
+  sim.ScheduleAt(2.0, [&] { ++ran; });
+  sim.ScheduleAt(3.0, [&] { ++ran; });
+  sim.RunUntil(2.0);
+  EXPECT_EQ(ran, 2);  // Events at exactly `until` run.
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.pending_events(), 1);
+  sim.RunAll();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.RunUntil(100.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+  sim.RunUntil(150.0, /*advance_clock_to_until=*/false);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  int ran = 0;
+  const EventHandle handle = sim.ScheduleAt(1.0, [&] { ++ran; });
+  EXPECT_TRUE(sim.Cancel(handle));
+  EXPECT_FALSE(sim.Cancel(handle));  // Second cancel is a no-op.
+  sim.RunAll();
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(sim.executed_events(), 0);
+}
+
+TEST(SimulatorTest, CancelInvalidHandle) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Cancel(EventHandle()));
+}
+
+TEST(SimulatorTest, CancelAfterExecutionReturnsFalse) {
+  Simulator sim;
+  const EventHandle handle = sim.ScheduleAt(1.0, [] {});
+  sim.RunAll();
+  EXPECT_FALSE(sim.Cancel(handle));
+}
+
+TEST(SimulatorTest, PendingCountExcludesCancelled) {
+  Simulator sim;
+  const EventHandle a = sim.ScheduleAt(1.0, [] {});
+  sim.ScheduleAt(2.0, [] {});
+  EXPECT_EQ(sim.pending_events(), 2);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1);
+  sim.RunAll();
+  EXPECT_EQ(sim.pending_events(), 0);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunAreExecuted) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) {
+      sim.ScheduleAfter(1.0, recurse);
+    }
+  };
+  sim.ScheduleAt(0.0, recurse);
+  sim.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(SimulatorTest, StepExecutesOne) {
+  Simulator sim;
+  int ran = 0;
+  sim.ScheduleAt(1.0, [&] { ++ran; });
+  sim.ScheduleAt(2.0, [&] { ++ran; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(SimulatorDeathTest, SchedulingInThePastAborts) {
+  Simulator sim;
+  sim.ScheduleAt(10.0, [] {});
+  sim.RunAll();
+  EXPECT_DEATH(sim.ScheduleAt(5.0, [] {}), "past");
+}
+
+TEST(PeriodicProcessTest, FiresAtPeriod) {
+  Simulator sim;
+  std::vector<double> fires;
+  PeriodicProcess proc(sim, 1.0, 2.0, [&] { fires.push_back(sim.now()); });
+  sim.RunUntil(7.0);
+  EXPECT_EQ(fires, (std::vector<double>{1.0, 3.0, 5.0, 7.0}));
+}
+
+TEST(PeriodicProcessTest, StopHalts) {
+  Simulator sim;
+  int count = 0;
+  PeriodicProcess proc(sim, 0.0, 1.0, [&] {
+    if (++count == 3) {
+      proc.Stop();
+    }
+  });
+  sim.RunUntil(100.0);
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(proc.running());
+}
+
+TEST(PeriodicProcessTest, DestructorCancels) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicProcess proc(sim, 0.0, 1.0, [&] { ++count; });
+    sim.RunUntil(2.0);
+  }
+  sim.RunUntil(10.0);
+  EXPECT_EQ(count, 3);  // 0, 1, 2 fired before destruction.
+}
+
+}  // namespace
+}  // namespace pad

@@ -1,0 +1,209 @@
+#include "src/trace/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/units.h"
+
+namespace pad {
+namespace {
+
+PopulationConfig SmallConfig() {
+  PopulationConfig config;
+  config.num_users = 50;
+  config.horizon_s = 7.0 * kDay;
+  config.seed = 123;
+  return config;
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  const Population a = GeneratePopulation(SmallConfig());
+  const Population b = GeneratePopulation(SmallConfig());
+  ASSERT_EQ(a.users.size(), b.users.size());
+  ASSERT_EQ(a.TotalSessions(), b.TotalSessions());
+  for (size_t u = 0; u < a.users.size(); ++u) {
+    ASSERT_EQ(a.users[u].sessions.size(), b.users[u].sessions.size());
+    for (size_t s = 0; s < a.users[u].sessions.size(); ++s) {
+      EXPECT_DOUBLE_EQ(a.users[u].sessions[s].start_time, b.users[u].sessions[s].start_time);
+      EXPECT_DOUBLE_EQ(a.users[u].sessions[s].duration_s, b.users[u].sessions[s].duration_s);
+      EXPECT_EQ(a.users[u].sessions[s].app_id, b.users[u].sessions[s].app_id);
+    }
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  PopulationConfig config = SmallConfig();
+  const Population a = GeneratePopulation(config);
+  config.seed = 456;
+  const Population b = GeneratePopulation(config);
+  EXPECT_NE(a.TotalSessions(), b.TotalSessions());
+}
+
+TEST(GeneratorTest, AddingUsersPreservesExistingTraces) {
+  PopulationConfig config = SmallConfig();
+  const Population small = GeneratePopulation(config);
+  config.num_users = 60;
+  const Population big = GeneratePopulation(config);
+  // The first 50 users' traces must be identical: users have independent
+  // forked RNG streams.
+  for (size_t u = 0; u < 50; ++u) {
+    ASSERT_EQ(small.users[u].sessions.size(), big.users[u].sessions.size());
+    for (size_t s = 0; s < small.users[u].sessions.size(); ++s) {
+      EXPECT_DOUBLE_EQ(small.users[u].sessions[s].start_time,
+                       big.users[u].sessions[s].start_time);
+    }
+  }
+}
+
+TEST(GeneratorTest, SessionsSortedAndWithinHorizon) {
+  const PopulationConfig config = SmallConfig();
+  const Population population = GeneratePopulation(config);
+  for (const UserTrace& user : population.users) {
+    double prev = -1.0;
+    for (const Session& session : user.sessions) {
+      EXPECT_GE(session.start_time, prev);
+      prev = session.start_time;
+      EXPECT_GE(session.start_time, 0.0);
+      EXPECT_LT(session.start_time, config.horizon_s);
+      EXPECT_LE(session.end_time(), config.horizon_s + 1e-9);
+      EXPECT_GE(session.duration_s, 0.0);
+      EXPECT_LE(session.duration_s, config.max_session_s);
+      EXPECT_GE(session.app_id, 0);
+      EXPECT_LT(session.app_id, config.num_apps);
+      EXPECT_EQ(session.user_id, user.user_id);
+    }
+  }
+}
+
+TEST(GeneratorTest, PopulationMeanRateRoughlyMatchesArchetypes) {
+  PopulationConfig config = SmallConfig();
+  config.num_users = 400;
+  config.horizon_s = 14.0 * kDay;
+  const Population population = GeneratePopulation(config);
+  double expected_rate = 0.0;
+  for (const UserArchetype& archetype : config.archetypes) {
+    expected_rate += archetype.weight * archetype.sessions_per_day;
+  }
+  // Lognormal heterogeneity with sigma s inflates the mean by exp(s^2/2).
+  expected_rate *= std::exp(config.rate_spread_sigma * config.rate_spread_sigma / 2.0);
+  const double actual_rate = static_cast<double>(population.TotalSessions()) /
+                             (config.num_users * config.horizon_s / kDay);
+  EXPECT_NEAR(actual_rate / expected_rate, 1.0, 0.15);
+}
+
+TEST(GeneratorTest, UserParamsSampledFromArchetypes) {
+  PopulationConfig config = SmallConfig();
+  config.num_users = 500;
+  const auto params = SampleUserParams(config);
+  ASSERT_EQ(params.size(), 500u);
+  std::array<int, 3> archetype_counts{};
+  for (const UserParams& user : params) {
+    ASSERT_GE(user.archetype, 0);
+    ASSERT_LT(user.archetype, 3);
+    ++archetype_counts[static_cast<size_t>(user.archetype)];
+    EXPECT_GT(user.sessions_per_day, 0.0);
+    EXPECT_EQ(user.app_rank.size(), static_cast<size_t>(config.num_apps));
+  }
+  // Mixture weights 0.35 / 0.45 / 0.20.
+  EXPECT_NEAR(archetype_counts[0] / 500.0, 0.35, 0.07);
+  EXPECT_NEAR(archetype_counts[1] / 500.0, 0.45, 0.07);
+  EXPECT_NEAR(archetype_counts[2] / 500.0, 0.20, 0.07);
+}
+
+TEST(GeneratorTest, FlatDiurnalRemovesTimeOfDayStructure) {
+  PopulationConfig config = SmallConfig();
+  config.num_users = 200;
+  config.flat_diurnal = true;
+  config.phase_jitter_h = 0.0;
+  const Population population = GeneratePopulation(config);
+  std::array<double, 24> hourly{};
+  double total = 0.0;
+  for (const UserTrace& user : population.users) {
+    for (const Session& session : user.sessions) {
+      ++hourly[static_cast<size_t>(HourOfDay(session.start_time))];
+      ++total;
+    }
+  }
+  for (double count : hourly) {
+    EXPECT_NEAR(count / total, 1.0 / 24.0, 0.012);
+  }
+}
+
+TEST(GeneratorTest, TypicalDiurnalConcentratesEvenings) {
+  PopulationConfig config = SmallConfig();
+  config.num_users = 200;
+  const Population population = GeneratePopulation(config);
+  double evening = 0.0;
+  double night = 0.0;
+  double total = 0.0;
+  for (const UserTrace& user : population.users) {
+    for (const Session& session : user.sessions) {
+      const double h = HourOfDay(session.start_time);
+      if (h >= 18.0 && h < 22.0) {
+        evening += 1.0;
+      }
+      if (h >= 2.0 && h < 6.0) {
+        night += 1.0;
+      }
+      total += 1.0;
+    }
+  }
+  EXPECT_GT(evening, 3.0 * night);
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(GeneratorTest, DayNoiseZeroGivesSteadierDays) {
+  PopulationConfig steady = SmallConfig();
+  steady.num_users = 100;
+  steady.horizon_s = 28.0 * kDay;
+  steady.day_noise_sigma = 1e-6;
+  PopulationConfig noisy = steady;
+  noisy.day_noise_sigma = 0.8;
+
+  auto mean_day_cv = [](const Population& population) {
+    double total_cv = 0.0;
+    int users = 0;
+    for (const UserTrace& user : population.users) {
+      std::array<double, 28> days{};
+      for (const Session& session : user.sessions) {
+        ++days[static_cast<size_t>(std::min(27, DayIndex(session.start_time)))];
+      }
+      double mean = 0.0;
+      for (double d : days) {
+        mean += d;
+      }
+      mean /= 28.0;
+      if (mean < 1.0) {
+        continue;
+      }
+      double var = 0.0;
+      for (double d : days) {
+        var += (d - mean) * (d - mean);
+      }
+      var /= 27.0;
+      total_cv += std::sqrt(var) / mean;
+      ++users;
+    }
+    return total_cv / users;
+  };
+
+  EXPECT_LT(mean_day_cv(GeneratePopulation(steady)), mean_day_cv(GeneratePopulation(noisy)));
+}
+
+TEST(GeneratorTest, MinSessionDurationRespected) {
+  PopulationConfig config = SmallConfig();
+  config.min_session_s = 30.0;
+  const Population population = GeneratePopulation(config);
+  for (const UserTrace& user : population.users) {
+    for (const Session& session : user.sessions) {
+      // Horizon clipping may shorten the very last session only.
+      if (session.end_time() < config.horizon_s - 1e-9) {
+        EXPECT_GE(session.duration_s, 30.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pad

@@ -1,0 +1,103 @@
+#include "src/trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/units.h"
+#include "src/trace/generator.h"
+
+namespace pad {
+namespace {
+
+TEST(TraceIoTest, RoundTripPreservesEverything) {
+  PopulationConfig config;
+  config.num_users = 20;
+  config.horizon_s = 3.0 * kDay;
+  config.num_segments = 4;
+  const Population original = GeneratePopulation(config);
+
+  std::ostringstream out;
+  WriteTrace(original, out);
+  const Population loaded = ParseTrace(out.str());
+
+  EXPECT_DOUBLE_EQ(loaded.horizon_s, original.horizon_s);
+  ASSERT_EQ(loaded.users.size(), original.users.size());
+  for (size_t u = 0; u < original.users.size(); ++u) {
+    const UserTrace& a = original.users[u];
+    const UserTrace& b = loaded.users[u];
+    EXPECT_EQ(a.user_id, b.user_id);
+    EXPECT_EQ(a.segment, b.segment);
+    ASSERT_EQ(a.sessions.size(), b.sessions.size());
+    for (size_t s = 0; s < a.sessions.size(); ++s) {
+      EXPECT_EQ(a.sessions[s].app_id, b.sessions[s].app_id);
+      EXPECT_DOUBLE_EQ(a.sessions[s].start_time, b.sessions[s].start_time);
+      EXPECT_DOUBLE_EQ(a.sessions[s].duration_s, b.sessions[s].duration_s);
+    }
+  }
+}
+
+TEST(TraceIoTest, ParseWithoutHorizonDerivesFromSessions) {
+  const std::string text =
+      "user_id,app_id,start_time,duration_s\n"
+      "0,1,1000,60\n"
+      "0,2,90000,120\n";
+  const Population population = ParseTrace(text);
+  // Max end = 90120 s -> rounded up to 2 days.
+  EXPECT_DOUBLE_EQ(population.horizon_s, 2.0 * kDay);
+}
+
+TEST(TraceIoTest, LegacyTraceWithoutSegmentColumnLoads) {
+  const std::string text =
+      "user_id,app_id,start_time,duration_s\n"
+      "3,1,1000,60\n";
+  const Population population = ParseTrace(text);
+  ASSERT_EQ(population.users.size(), 1u);
+  EXPECT_EQ(population.users[0].segment, 0);
+}
+
+TEST(TraceIoTest, ParseSortsSessionsWithinUser) {
+  const std::string text =
+      "user_id,app_id,start_time,duration_s\n"
+      "0,1,500,10\n"
+      "0,1,100,10\n"
+      "0,1,300,10\n";
+  const Population population = ParseTrace(text);
+  ASSERT_EQ(population.users.size(), 1u);
+  const auto& sessions = population.users[0].sessions;
+  ASSERT_EQ(sessions.size(), 3u);
+  EXPECT_DOUBLE_EQ(sessions[0].start_time, 100.0);
+  EXPECT_DOUBLE_EQ(sessions[2].start_time, 500.0);
+}
+
+TEST(TraceIoTest, ParseGroupsUsers) {
+  const std::string text =
+      "user_id,app_id,start_time,duration_s\n"
+      "3,0,10,5\n"
+      "1,0,20,5\n"
+      "3,0,30,5\n";
+  const Population population = ParseTrace(text);
+  ASSERT_EQ(population.users.size(), 2u);
+  // Users come out ordered by id.
+  EXPECT_EQ(population.users[0].user_id, 1);
+  EXPECT_EQ(population.users[1].user_id, 3);
+  EXPECT_EQ(population.users[1].sessions.size(), 2u);
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  PopulationConfig config;
+  config.num_users = 5;
+  config.horizon_s = 1.0 * kDay;
+  const Population original = GeneratePopulation(config);
+  const std::string path = ::testing::TempDir() + "/trace_io_test.csv";
+  WriteTraceFile(original, path);
+  const Population loaded = ReadTraceFile(path);
+  EXPECT_EQ(loaded.TotalSessions(), original.TotalSessions());
+}
+
+TEST(TraceIoDeathTest, MissingFileAborts) {
+  EXPECT_DEATH(ReadTraceFile("/nonexistent/path/trace.csv"), "cannot open");
+}
+
+}  // namespace
+}  // namespace pad

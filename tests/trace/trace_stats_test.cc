@@ -1,0 +1,120 @@
+#include "src/trace/trace_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/trace/generator.h"
+
+namespace pad {
+namespace {
+
+UserTrace MakeUser(std::vector<std::pair<double, double>> start_duration) {
+  UserTrace user;
+  user.user_id = 0;
+  for (const auto& [start, duration] : start_duration) {
+    user.sessions.push_back(Session{0, 0, start, duration});
+  }
+  return user;
+}
+
+TEST(TraceStatsTest, BasicCounts) {
+  Population population;
+  population.horizon_s = 2.0 * kDay;
+  population.users.push_back(MakeUser({{100.0, 60.0}, {200.0, 30.0}}));
+  population.users.push_back(MakeUser({{kDay + 100.0, 10.0}}));
+  const TraceStats stats = ComputeTraceStats(population);
+  EXPECT_EQ(stats.num_users, 2);
+  EXPECT_EQ(stats.num_sessions, 3);
+  EXPECT_DOUBLE_EQ(stats.horizon_days, 2.0);
+  EXPECT_EQ(stats.sessions_per_user_day.count(), 2);
+  EXPECT_DOUBLE_EQ(stats.sessions_per_user_day.mean(), (1.0 + 0.5) / 2.0);
+  EXPECT_DOUBLE_EQ(stats.session_duration_s.mean(), 100.0 / 3.0);
+}
+
+TEST(TraceStatsTest, InterSessionGaps) {
+  Population population;
+  population.horizon_s = kDay;
+  population.users.push_back(MakeUser({{0.0, 100.0}, {150.0, 10.0}, {1000.0, 10.0}}));
+  const TraceStats stats = ComputeTraceStats(population);
+  ASSERT_EQ(stats.inter_session_gap_s.count(), 2);
+  EXPECT_DOUBLE_EQ(stats.inter_session_gap_s.min(), 50.0);
+  EXPECT_DOUBLE_EQ(stats.inter_session_gap_s.max(), 840.0);
+}
+
+TEST(TraceStatsTest, OverlappingSessionsGiveZeroGap) {
+  Population population;
+  population.horizon_s = kDay;
+  population.users.push_back(MakeUser({{0.0, 100.0}, {50.0, 10.0}}));
+  const TraceStats stats = ComputeTraceStats(population);
+  EXPECT_DOUBLE_EQ(stats.inter_session_gap_s.max(), 0.0);
+}
+
+TEST(TraceStatsTest, HourlyFractionSumsToOne) {
+  PopulationConfig config;
+  config.num_users = 50;
+  config.horizon_s = 7.0 * kDay;
+  const TraceStats stats = ComputeTraceStats(GeneratePopulation(config));
+  double total = 0.0;
+  for (double f : stats.hourly_fraction) {
+    EXPECT_GE(f, 0.0);
+    total += f;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(DailyCountsTest, BinsByDay) {
+  UserTrace user = MakeUser({{100.0, 10.0}, {kDay - 1.0, 10.0}, {kDay + 5.0, 10.0}});
+  const std::vector<int> counts = DailySessionCounts(user, 3.0 * kDay);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 0);
+}
+
+TEST(AutocorrelationTest, ConstantSeriesReturnsZero) {
+  // A user with exactly one session per day has zero variance.
+  UserTrace user;
+  for (int d = 0; d < 10; ++d) {
+    user.sessions.push_back(Session{0, 0, d * kDay + 100.0, 10.0});
+  }
+  EXPECT_DOUBLE_EQ(DailyCountAutocorrelation(user, 10.0 * kDay, 1), 0.0);
+}
+
+TEST(AutocorrelationTest, ShortSeriesReturnsZero) {
+  UserTrace user = MakeUser({{0.0, 10.0}});
+  EXPECT_DOUBLE_EQ(DailyCountAutocorrelation(user, 2.0 * kDay, 1), 0.0);
+}
+
+TEST(AutocorrelationTest, AlternatingSeriesIsNegativeAtLagOne) {
+  // 5 sessions on even days, 0 on odd days.
+  UserTrace user;
+  for (int d = 0; d < 20; d += 2) {
+    for (int s = 0; s < 5; ++s) {
+      user.sessions.push_back(Session{0, 0, d * kDay + 100.0 * (s + 1), 10.0});
+    }
+  }
+  EXPECT_LT(DailyCountAutocorrelation(user, 20.0 * kDay, 1), -0.5);
+  EXPECT_GT(DailyCountAutocorrelation(user, 20.0 * kDay, 2), 0.5);
+}
+
+TEST(AutocorrelationTest, GeneratedUsersArePositivelyAutocorrelatedAtWeekLag) {
+  // Week-over-week regularity is what makes prediction viable; verify the
+  // generator produces users whose *hourly* behaviour repeats. Daily counts
+  // with low noise should show near-zero-or-positive lag-1 correlation on
+  // average (they share the same base rate).
+  PopulationConfig config;
+  config.num_users = 60;
+  config.horizon_s = 28.0 * kDay;
+  config.day_noise_sigma = 0.2;
+  const Population population = GeneratePopulation(config);
+  double mean_ac = 0.0;
+  for (const UserTrace& user : population.users) {
+    mean_ac += DailyCountAutocorrelation(user, config.horizon_s, 1);
+  }
+  mean_ac /= static_cast<double>(population.users.size());
+  // Independent day draws give ~0; systematic negative would be a bug.
+  EXPECT_GT(mean_ac, -0.15);
+}
+
+}  // namespace
+}  // namespace pad

@@ -1,0 +1,112 @@
+#include "src/trace/user_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pad {
+namespace {
+
+TEST(DiurnalProfileTest, WeightsNormalizedToMeanOne) {
+  for (const DiurnalProfile& profile : {DiurnalProfile::Typical(), DiurnalProfile::Flat()}) {
+    double sum = 0.0;
+    for (int h = 0; h < 24; ++h) {
+      sum += profile.Weight(static_cast<double>(h) + 0.5);
+    }
+    EXPECT_NEAR(sum / 24.0, 1.0, 1e-9);
+  }
+}
+
+TEST(DiurnalProfileTest, FlatIsConstant) {
+  const DiurnalProfile flat = DiurnalProfile::Flat();
+  for (double h = 0.0; h < 24.0; h += 0.37) {
+    EXPECT_NEAR(flat.Weight(h), 1.0, 1e-9);
+  }
+}
+
+TEST(DiurnalProfileTest, TypicalHasEveningPeakAndNightTrough) {
+  const DiurnalProfile profile = DiurnalProfile::Typical();
+  EXPECT_GT(profile.Weight(20.5), 3.0 * profile.Weight(3.5));
+  EXPECT_GT(profile.Weight(20.5), profile.Weight(10.5));
+}
+
+TEST(DiurnalProfileTest, PhaseShiftMovesPeak) {
+  const DiurnalProfile profile = DiurnalProfile::Typical();
+  // Shifting by +3 h: the weight at hour 23.5 with shift 3 equals hour 20.5 unshifted.
+  EXPECT_NEAR(profile.Weight(23.5, 3.0), profile.Weight(20.5), 1e-9);
+}
+
+TEST(DiurnalProfileTest, WeightWrapsAroundMidnight) {
+  const DiurnalProfile profile = DiurnalProfile::Typical();
+  EXPECT_NEAR(profile.Weight(-1.0), profile.Weight(23.0), 1e-9);
+  EXPECT_NEAR(profile.Weight(25.0), profile.Weight(1.0), 1e-9);
+}
+
+TEST(DiurnalProfileTest, InterpolationIsContinuous) {
+  const DiurnalProfile profile = DiurnalProfile::Typical();
+  for (double h = 0.05; h < 24.0; h += 0.1) {
+    const double a = profile.Weight(h);
+    const double b = profile.Weight(h + 0.01);
+    EXPECT_LT(std::fabs(a - b), 0.1) << "discontinuity near hour " << h;
+  }
+}
+
+TEST(DiurnalProfileTest, SampleHourInRangeAndFollowsProfile) {
+  const DiurnalProfile profile = DiurnalProfile::Typical();
+  Rng rng(5);
+  int evening = 0;
+  int night = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double h = profile.SampleHour(rng);
+    ASSERT_GE(h, 0.0);
+    ASSERT_LT(h, 24.0);
+    if (h >= 18.0 && h < 22.0) {
+      ++evening;
+    }
+    if (h >= 2.0 && h < 6.0) {
+      ++night;
+    }
+  }
+  EXPECT_GT(evening, 5 * night);
+}
+
+TEST(DiurnalProfileTest, SampleHourHonorsPhaseShift) {
+  const DiurnalProfile profile = DiurnalProfile::Typical();
+  Rng rng(6);
+  double sum_shifted = 0.0;
+  const int n = 20000;
+  int late_night = 0;
+  for (int i = 0; i < n; ++i) {
+    const double h = profile.SampleHour(rng, 6.0);
+    sum_shifted += h;
+    if (h >= 0.0 && h < 4.0) {
+      ++late_night;  // 18-22 peak shifted by 6 lands at 0-4.
+    }
+  }
+  EXPECT_GT(static_cast<double>(late_night) / n, 0.2);
+  (void)sum_shifted;
+}
+
+TEST(DiurnalProfileDeathTest, AllZeroWeightsAbort) {
+  std::array<double, 24> zeros{};
+  EXPECT_DEATH(DiurnalProfile profile(zeros), "positive");
+}
+
+TEST(ArchetypesTest, DefaultsAreWellFormed) {
+  const auto archetypes = DefaultArchetypes();
+  ASSERT_EQ(archetypes.size(), 3u);
+  double weight = 0.0;
+  for (const UserArchetype& archetype : archetypes) {
+    EXPECT_GT(archetype.weight, 0.0);
+    EXPECT_GT(archetype.sessions_per_day, 0.0);
+    EXPECT_GT(archetype.session_duration_sigma, 0.0);
+    weight += archetype.weight;
+  }
+  EXPECT_NEAR(weight, 1.0, 1e-9);
+  // Heavy users are an order of magnitude more active than light ones.
+  EXPECT_GT(archetypes.back().sessions_per_day / archetypes.front().sessions_per_day, 5.0);
+}
+
+}  // namespace
+}  // namespace pad

@@ -1,0 +1,221 @@
+// adpad_sim — the configuration-driven experiment driver.
+//
+// Runs the baseline and/or PAD system on a synthetic (or externally loaded)
+// trace and prints — or appends to a CSV — the metrics the paper reports.
+//
+//   $ adpad_sim users=400 days=21 deadline_h=3 predictor=time_of_day
+//   $ adpad_sim --config experiment.conf csv_out=/tmp/results.csv
+//   $ adpad_sim help=1            # full option listing
+//
+// Options (key=value; --config <file> loads one per line):
+//   users, days, warmup_days, seed          trace shape
+//   trace_in=<csv>                          use an external trace instead
+//   radio=3g|lte|wifi, wifi_offload=bool    energy model
+//   window_h, deadline_h                    prediction window T, deadline D
+//   predictor=<name>, oracle_noise=<sigma>  client model
+//   capacity_confidence, sla_target, max_replicas, overbooking_factor
+//   num_segments, targeted_fraction, selectivity, capped_fraction,
+//   budgeted_fraction, arrivals_per_day     market shape
+//   mode=compare|pad|baseline               what to run
+//   csv_out=<path>                          append a machine-readable row
+//   label=<text>                            row label for the CSV
+#include <fstream>
+#include <iostream>
+
+#include "src/common/csv.h"
+#include "src/common/options.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/core/pad_simulation.h"
+#include "src/trace/trace_io.h"
+
+namespace pad {
+namespace {
+
+bool PickPredictor(const std::string& name, PredictorKind* kind) {
+  for (PredictorKind candidate : AllPredictorKinds()) {
+    if (name == PredictorKindName(candidate)) {
+      *kind = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+int RunTool(const Options& options) {
+  if (options.GetBool("help", false)) {
+    std::cout << "see the header comment of tools/adpad_sim.cc for the option list\n";
+    return 0;
+  }
+
+  PadConfig config;
+  config.population.num_users = options.GetInt("users", 200);
+  config.population.horizon_s = options.GetDouble("days", 21.0) * kDay;
+  config.population.num_segments = options.GetInt("num_segments", 1);
+  config.population.seed = static_cast<uint64_t>(options.GetInt("seed", 1234));
+  config.warmup_days = options.GetInt("warmup_days", 7);
+  config.prediction_window_s = options.GetDouble("window_h", 1.0) * kHour;
+  config.deadline_s = options.GetDouble("deadline_h", 3.0) * kHour;
+  config.capacity_confidence = options.GetDouble("capacity_confidence", 0.30);
+  config.planner.sla_target = options.GetDouble("sla_target", 0.90);
+  config.planner.max_replicas = options.GetInt("max_replicas", 2);
+  config.overbooking_factor = options.GetDouble("overbooking_factor", -1.0);
+  config.campaigns.arrivals_per_day =
+      options.GetDouble("arrivals_per_day", std::max(50.0, 1.5 * config.population.num_users));
+  config.campaigns.targeted_fraction = options.GetDouble("targeted_fraction", 0.0);
+  config.campaigns.segment_selectivity = options.GetDouble("selectivity", 0.25);
+  config.campaigns.capped_fraction = options.GetDouble("capped_fraction", 0.0);
+  config.campaigns.budgeted_fraction = options.GetDouble("budgeted_fraction", 0.0);
+  config.wifi.enabled = options.GetBool("wifi_offload", false);
+
+  const std::string radio = options.GetString("radio", "3g");
+  if (radio == "3g") {
+    config.radio = ThreeGProfile();
+  } else if (radio == "lte") {
+    config.radio = LteProfile();
+  } else if (radio == "wifi") {
+    config.radio = WifiProfile();
+  } else {
+    std::cerr << "unknown radio '" << radio << "' (3g|lte|wifi)\n";
+    return 1;
+  }
+
+  const std::string predictor = options.GetString("predictor", "time_of_day");
+  if (!PickPredictor(predictor, &config.predictor)) {
+    std::cerr << "unknown predictor '" << predictor << "'; available:";
+    for (PredictorKind kind : AllPredictorKinds()) {
+      std::cerr << ' ' << PredictorKindName(kind);
+    }
+    std::cerr << '\n';
+    return 1;
+  }
+  const double oracle_noise = options.GetDouble("oracle_noise", -1.0);
+  if (oracle_noise >= 0.0) {
+    config.use_noisy_oracle = true;
+    config.oracle_noise_sigma = oracle_noise;
+  }
+
+  const std::string mode = options.GetString("mode", "compare");
+  const std::string trace_in = options.GetString("trace_in", "");
+  const std::string csv_out = options.GetString("csv_out", "");
+  const std::string events_out = options.GetString("events_out", "");
+  const std::string label = options.GetString("label", "run");
+
+  for (const std::string& key : options.UnusedKeys()) {
+    std::cerr << "warning: unknown option '" << key << "' ignored\n";
+  }
+
+  // Build inputs, optionally around an external trace.
+  SimInputs inputs = [&] {
+    if (trace_in.empty()) {
+      return GenerateInputs(config);
+    }
+    std::cout << "loading trace from " << trace_in << "\n";
+    SimInputs loaded{ReadTraceFile(trace_in), AppCatalog::TopFifteen(), {}};
+    CampaignStreamConfig campaign_config = config.campaigns;
+    campaign_config.horizon_s = loaded.population.horizon_s;
+    campaign_config.display_deadline_s = config.deadline_s;
+    campaign_config.num_segments = config.population.num_segments;
+    loaded.campaigns = GenerateCampaignStream(campaign_config);
+    return loaded;
+  }();
+
+  std::cout << "running '" << mode << "': " << inputs.population.users.size() << " users, "
+            << inputs.population.horizon_s / kDay << " trace days, radio=" << radio
+            << ", predictor=" << predictor << "\n";
+
+  BaselineResult baseline;
+  PadRunResult pad;
+  const bool run_baseline = mode == "compare" || mode == "baseline";
+  const bool run_pad = mode == "compare" || mode == "pad";
+  if (!run_baseline && !run_pad) {
+    std::cerr << "unknown mode '" << mode << "' (compare|pad|baseline)\n";
+    return 1;
+  }
+  if (run_baseline) {
+    baseline = RunBaseline(config, inputs);
+  }
+  EventLog event_log;
+  if (run_pad) {
+    pad = RunPad(config, inputs, events_out.empty() ? nullptr : &event_log);
+  }
+  if (!events_out.empty() && run_pad) {
+    std::ofstream out(events_out);
+    if (!out.good()) {
+      std::cerr << "cannot open " << events_out << "\n";
+      return 1;
+    }
+    event_log.WriteCsv(out);
+    std::cout << "wrote " << event_log.events().size() << " events to " << events_out << "\n";
+  }
+
+  TextTable table({"metric", "baseline", "pad"});
+  auto cell = [&](bool present, double value, int precision) {
+    return present ? FormatDouble(value, precision) : std::string("-");
+  };
+  table.AddRow({"ad energy (kJ)", cell(run_baseline, baseline.energy.AdEnergyJ() / 1000.0, 1),
+                cell(run_pad, pad.energy.AdEnergyJ() / 1000.0, 1)});
+  table.AddRow({"comm energy (kJ)",
+                cell(run_baseline, baseline.energy.CommEnergyJ() / 1000.0, 1),
+                cell(run_pad, pad.energy.CommEnergyJ() / 1000.0, 1)});
+  table.AddRow({"billed revenue ($)", cell(run_baseline, baseline.ledger.billed_revenue, 2),
+                cell(run_pad, pad.ledger.billed_revenue, 2)});
+  table.AddRow({"SLA violation rate",
+                cell(run_baseline, baseline.ledger.SlaViolationRate(), 4),
+                cell(run_pad, pad.ledger.SlaViolationRate(), 4)});
+  table.AddRow({"revenue loss rate",
+                cell(run_baseline, baseline.ledger.RevenueLossRate(), 4),
+                cell(run_pad, pad.ledger.RevenueLossRate(), 4)});
+  table.AddRow({"cache hit rate", "-", cell(run_pad, pad.service.CacheHitRate(), 4)});
+  table.AddRow({"mean replication", "-", cell(run_pad, pad.MeanReplication(), 2)});
+  table.Print(std::cout);
+
+  if (mode == "compare") {
+    const Comparison comparison{baseline, pad};
+    std::cout << "\nad energy savings:   "
+              << FormatDouble(100.0 * comparison.AdEnergySavings(), 1) << "%\n"
+              << "revenue vs baseline: "
+              << FormatDouble(100.0 * comparison.RevenueRatio(), 1) << "%\n";
+  }
+
+  if (!csv_out.empty()) {
+    const bool fresh = !std::ifstream(csv_out).good();
+    std::ofstream out(csv_out, std::ios::app);
+    if (!out.good()) {
+      std::cerr << "cannot open " << csv_out << " for append\n";
+      return 1;
+    }
+    CsvWriter writer(out);
+    if (fresh) {
+      writer.WriteRow({"label", "mode", "users", "savings", "sla_violation", "rev_loss",
+                       "cache_hit", "replication", "baseline_ad_j", "pad_ad_j",
+                       "baseline_revenue", "pad_revenue"});
+    }
+    const Comparison comparison{baseline, pad};
+    writer.WriteRow({label, mode, CsvWriter::Field(config.population.num_users),
+                     CsvWriter::Field(mode == "compare" ? comparison.AdEnergySavings() : 0.0),
+                     CsvWriter::Field(pad.ledger.SlaViolationRate()),
+                     CsvWriter::Field(pad.ledger.RevenueLossRate()),
+                     CsvWriter::Field(pad.service.CacheHitRate()),
+                     CsvWriter::Field(pad.MeanReplication()),
+                     CsvWriter::Field(baseline.energy.AdEnergyJ()),
+                     CsvWriter::Field(pad.energy.AdEnergyJ()),
+                     CsvWriter::Field(baseline.ledger.billed_revenue),
+                     CsvWriter::Field(pad.ledger.billed_revenue)});
+    std::cout << "appended row to " << csv_out << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pad
+
+int main(int argc, char** argv) {
+  std::string error;
+  const auto options = pad::Options::Parse(argc, argv, &error);
+  if (!options.has_value()) {
+    std::cerr << "adpad_sim: " << error << "\n";
+    return 1;
+  }
+  return pad::RunTool(*options);
+}
