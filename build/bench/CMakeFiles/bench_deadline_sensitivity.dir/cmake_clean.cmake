@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deadline_sensitivity.dir/bench_deadline_sensitivity.cc.o"
+  "CMakeFiles/bench_deadline_sensitivity.dir/bench_deadline_sensitivity.cc.o.d"
+  "bench_deadline_sensitivity"
+  "bench_deadline_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deadline_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

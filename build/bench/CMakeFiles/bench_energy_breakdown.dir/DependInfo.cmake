@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_energy_breakdown.cc" "bench/CMakeFiles/bench_energy_breakdown.dir/bench_energy_breakdown.cc.o" "gcc" "bench/CMakeFiles/bench_energy_breakdown.dir/bench_energy_breakdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/overbook/CMakeFiles/pad_overbook.dir/DependInfo.cmake"
+  "/root/repo/build/src/auction/CMakeFiles/pad_auction.dir/DependInfo.cmake"
+  "/root/repo/build/src/prediction/CMakeFiles/pad_prediction.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/pad_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pad_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/pad_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pad_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

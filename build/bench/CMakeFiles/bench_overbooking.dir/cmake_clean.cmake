@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overbooking.dir/bench_overbooking.cc.o"
+  "CMakeFiles/bench_overbooking.dir/bench_overbooking.cc.o.d"
+  "bench_overbooking"
+  "bench_overbooking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overbooking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_population_scale.dir/bench_population_scale.cc.o"
+  "CMakeFiles/bench_population_scale.dir/bench_population_scale.cc.o.d"
+  "bench_population_scale"
+  "bench_population_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_population_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

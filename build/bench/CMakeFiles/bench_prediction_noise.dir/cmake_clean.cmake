@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prediction_noise.dir/bench_prediction_noise.cc.o"
+  "CMakeFiles/bench_prediction_noise.dir/bench_prediction_noise.cc.o.d"
+  "bench_prediction_noise"
+  "bench_prediction_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prediction_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prefetch_savings.dir/bench_prefetch_savings.cc.o"
+  "CMakeFiles/bench_prefetch_savings.dir/bench_prefetch_savings.cc.o.d"
+  "bench_prefetch_savings"
+  "bench_prefetch_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prefetch_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_radio_model.dir/bench_radio_model.cc.o"
+  "CMakeFiles/bench_radio_model.dir/bench_radio_model.cc.o.d"
+  "bench_radio_model"
+  "bench_radio_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_radio_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

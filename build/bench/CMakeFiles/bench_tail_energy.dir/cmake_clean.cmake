@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tail_energy.dir/bench_tail_energy.cc.o"
+  "CMakeFiles/bench_tail_energy.dir/bench_tail_energy.cc.o.d"
+  "bench_tail_energy"
+  "bench_tail_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tail_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

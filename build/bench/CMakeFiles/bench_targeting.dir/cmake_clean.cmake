@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_targeting.dir/bench_targeting.cc.o"
+  "CMakeFiles/bench_targeting.dir/bench_targeting.cc.o.d"
+  "bench_targeting"
+  "bench_targeting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_targeting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace_characterization.dir/bench_trace_characterization.cc.o"
+  "CMakeFiles/bench_trace_characterization.dir/bench_trace_characterization.cc.o.d"
+  "bench_trace_characterization"
+  "bench_trace_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wifi_offload.dir/bench_wifi_offload.cc.o"
+  "CMakeFiles/bench_wifi_offload.dir/bench_wifi_offload.cc.o.d"
+  "bench_wifi_offload"
+  "bench_wifi_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wifi_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

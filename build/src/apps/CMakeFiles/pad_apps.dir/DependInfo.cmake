@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_profile.cc" "src/apps/CMakeFiles/pad_apps.dir/app_profile.cc.o" "gcc" "src/apps/CMakeFiles/pad_apps.dir/app_profile.cc.o.d"
+  "/root/repo/src/apps/workload.cc" "src/apps/CMakeFiles/pad_apps.dir/workload.cc.o" "gcc" "src/apps/CMakeFiles/pad_apps.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pad_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/pad_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pad_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

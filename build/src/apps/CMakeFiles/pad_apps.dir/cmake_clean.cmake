@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pad_apps.dir/app_profile.cc.o"
+  "CMakeFiles/pad_apps.dir/app_profile.cc.o.d"
+  "CMakeFiles/pad_apps.dir/workload.cc.o"
+  "CMakeFiles/pad_apps.dir/workload.cc.o.d"
+  "libpad_apps.a"
+  "libpad_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pad_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

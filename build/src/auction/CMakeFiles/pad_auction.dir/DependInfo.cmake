@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/auction/auction.cc" "src/auction/CMakeFiles/pad_auction.dir/auction.cc.o" "gcc" "src/auction/CMakeFiles/pad_auction.dir/auction.cc.o.d"
+  "/root/repo/src/auction/campaign.cc" "src/auction/CMakeFiles/pad_auction.dir/campaign.cc.o" "gcc" "src/auction/CMakeFiles/pad_auction.dir/campaign.cc.o.d"
+  "/root/repo/src/auction/exchange.cc" "src/auction/CMakeFiles/pad_auction.dir/exchange.cc.o" "gcc" "src/auction/CMakeFiles/pad_auction.dir/exchange.cc.o.d"
+  "/root/repo/src/auction/ledger.cc" "src/auction/CMakeFiles/pad_auction.dir/ledger.cc.o" "gcc" "src/auction/CMakeFiles/pad_auction.dir/ledger.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

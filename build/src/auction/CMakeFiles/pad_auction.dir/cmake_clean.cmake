@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pad_auction.dir/auction.cc.o"
+  "CMakeFiles/pad_auction.dir/auction.cc.o.d"
+  "CMakeFiles/pad_auction.dir/campaign.cc.o"
+  "CMakeFiles/pad_auction.dir/campaign.cc.o.d"
+  "CMakeFiles/pad_auction.dir/exchange.cc.o"
+  "CMakeFiles/pad_auction.dir/exchange.cc.o.d"
+  "CMakeFiles/pad_auction.dir/ledger.cc.o"
+  "CMakeFiles/pad_auction.dir/ledger.cc.o.d"
+  "libpad_auction.a"
+  "libpad_auction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pad_auction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

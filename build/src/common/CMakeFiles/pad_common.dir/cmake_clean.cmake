@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pad_common.dir/csv.cc.o"
+  "CMakeFiles/pad_common.dir/csv.cc.o.d"
+  "CMakeFiles/pad_common.dir/options.cc.o"
+  "CMakeFiles/pad_common.dir/options.cc.o.d"
+  "CMakeFiles/pad_common.dir/rng.cc.o"
+  "CMakeFiles/pad_common.dir/rng.cc.o.d"
+  "CMakeFiles/pad_common.dir/stats.cc.o"
+  "CMakeFiles/pad_common.dir/stats.cc.o.d"
+  "CMakeFiles/pad_common.dir/table.cc.o"
+  "CMakeFiles/pad_common.dir/table.cc.o.d"
+  "libpad_common.a"
+  "libpad_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pad_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

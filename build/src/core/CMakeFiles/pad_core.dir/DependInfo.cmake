@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ad_cache.cc" "src/core/CMakeFiles/pad_core.dir/ad_cache.cc.o" "gcc" "src/core/CMakeFiles/pad_core.dir/ad_cache.cc.o.d"
+  "/root/repo/src/core/event_log.cc" "src/core/CMakeFiles/pad_core.dir/event_log.cc.o" "gcc" "src/core/CMakeFiles/pad_core.dir/event_log.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/pad_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/pad_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/pad_client.cc" "src/core/CMakeFiles/pad_core.dir/pad_client.cc.o" "gcc" "src/core/CMakeFiles/pad_core.dir/pad_client.cc.o.d"
+  "/root/repo/src/core/pad_server.cc" "src/core/CMakeFiles/pad_core.dir/pad_server.cc.o" "gcc" "src/core/CMakeFiles/pad_core.dir/pad_server.cc.o.d"
+  "/root/repo/src/core/pad_simulation.cc" "src/core/CMakeFiles/pad_core.dir/pad_simulation.cc.o" "gcc" "src/core/CMakeFiles/pad_core.dir/pad_simulation.cc.o.d"
+  "/root/repo/src/core/wifi_policy.cc" "src/core/CMakeFiles/pad_core.dir/wifi_policy.cc.o" "gcc" "src/core/CMakeFiles/pad_core.dir/wifi_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pad_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pad_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/pad_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pad_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/pad_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/prediction/CMakeFiles/pad_prediction.dir/DependInfo.cmake"
+  "/root/repo/build/src/auction/CMakeFiles/pad_auction.dir/DependInfo.cmake"
+  "/root/repo/build/src/overbook/CMakeFiles/pad_overbook.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pad_core.dir/ad_cache.cc.o"
+  "CMakeFiles/pad_core.dir/ad_cache.cc.o.d"
+  "CMakeFiles/pad_core.dir/event_log.cc.o"
+  "CMakeFiles/pad_core.dir/event_log.cc.o.d"
+  "CMakeFiles/pad_core.dir/metrics.cc.o"
+  "CMakeFiles/pad_core.dir/metrics.cc.o.d"
+  "CMakeFiles/pad_core.dir/pad_client.cc.o"
+  "CMakeFiles/pad_core.dir/pad_client.cc.o.d"
+  "CMakeFiles/pad_core.dir/pad_server.cc.o"
+  "CMakeFiles/pad_core.dir/pad_server.cc.o.d"
+  "CMakeFiles/pad_core.dir/pad_simulation.cc.o"
+  "CMakeFiles/pad_core.dir/pad_simulation.cc.o.d"
+  "CMakeFiles/pad_core.dir/wifi_policy.cc.o"
+  "CMakeFiles/pad_core.dir/wifi_policy.cc.o.d"
+  "libpad_core.a"
+  "libpad_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pad_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overbook/display_model.cc" "src/overbook/CMakeFiles/pad_overbook.dir/display_model.cc.o" "gcc" "src/overbook/CMakeFiles/pad_overbook.dir/display_model.cc.o.d"
+  "/root/repo/src/overbook/poisson_binomial.cc" "src/overbook/CMakeFiles/pad_overbook.dir/poisson_binomial.cc.o" "gcc" "src/overbook/CMakeFiles/pad_overbook.dir/poisson_binomial.cc.o.d"
+  "/root/repo/src/overbook/replication_planner.cc" "src/overbook/CMakeFiles/pad_overbook.dir/replication_planner.cc.o" "gcc" "src/overbook/CMakeFiles/pad_overbook.dir/replication_planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

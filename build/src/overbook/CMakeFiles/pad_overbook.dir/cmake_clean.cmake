@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pad_overbook.dir/display_model.cc.o"
+  "CMakeFiles/pad_overbook.dir/display_model.cc.o.d"
+  "CMakeFiles/pad_overbook.dir/poisson_binomial.cc.o"
+  "CMakeFiles/pad_overbook.dir/poisson_binomial.cc.o.d"
+  "CMakeFiles/pad_overbook.dir/replication_planner.cc.o"
+  "CMakeFiles/pad_overbook.dir/replication_planner.cc.o.d"
+  "libpad_overbook.a"
+  "libpad_overbook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pad_overbook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

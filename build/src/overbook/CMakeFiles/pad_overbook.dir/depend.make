@@ -1,0 +1,2 @@
+# Empty dependencies file for pad_overbook.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prediction/evaluation.cc" "src/prediction/CMakeFiles/pad_prediction.dir/evaluation.cc.o" "gcc" "src/prediction/CMakeFiles/pad_prediction.dir/evaluation.cc.o.d"
+  "/root/repo/src/prediction/predictors.cc" "src/prediction/CMakeFiles/pad_prediction.dir/predictors.cc.o" "gcc" "src/prediction/CMakeFiles/pad_prediction.dir/predictors.cc.o.d"
+  "/root/repo/src/prediction/slot_series.cc" "src/prediction/CMakeFiles/pad_prediction.dir/slot_series.cc.o" "gcc" "src/prediction/CMakeFiles/pad_prediction.dir/slot_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pad_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/pad_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/pad_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pad_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

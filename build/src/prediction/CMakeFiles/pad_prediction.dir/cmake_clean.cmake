@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pad_prediction.dir/evaluation.cc.o"
+  "CMakeFiles/pad_prediction.dir/evaluation.cc.o.d"
+  "CMakeFiles/pad_prediction.dir/predictors.cc.o"
+  "CMakeFiles/pad_prediction.dir/predictors.cc.o.d"
+  "CMakeFiles/pad_prediction.dir/slot_series.cc.o"
+  "CMakeFiles/pad_prediction.dir/slot_series.cc.o.d"
+  "libpad_prediction.a"
+  "libpad_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pad_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pad_radio.dir/machine.cc.o"
+  "CMakeFiles/pad_radio.dir/machine.cc.o.d"
+  "CMakeFiles/pad_radio.dir/profile.cc.o"
+  "CMakeFiles/pad_radio.dir/profile.cc.o.d"
+  "libpad_radio.a"
+  "libpad_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pad_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pad_sim.dir/simulator.cc.o"
+  "CMakeFiles/pad_sim.dir/simulator.cc.o.d"
+  "libpad_sim.a"
+  "libpad_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pad_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

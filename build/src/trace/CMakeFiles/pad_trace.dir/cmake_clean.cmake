@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pad_trace.dir/generator.cc.o"
+  "CMakeFiles/pad_trace.dir/generator.cc.o.d"
+  "CMakeFiles/pad_trace.dir/trace_io.cc.o"
+  "CMakeFiles/pad_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/pad_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/pad_trace.dir/trace_stats.cc.o.d"
+  "CMakeFiles/pad_trace.dir/user_model.cc.o"
+  "CMakeFiles/pad_trace.dir/user_model.cc.o.d"
+  "libpad_trace.a"
+  "libpad_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pad_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

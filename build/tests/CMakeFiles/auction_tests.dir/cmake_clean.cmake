@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_tests.dir/auction/auction_test.cc.o"
+  "CMakeFiles/auction_tests.dir/auction/auction_test.cc.o.d"
+  "CMakeFiles/auction_tests.dir/auction/campaign_test.cc.o"
+  "CMakeFiles/auction_tests.dir/auction/campaign_test.cc.o.d"
+  "CMakeFiles/auction_tests.dir/auction/exchange_test.cc.o"
+  "CMakeFiles/auction_tests.dir/auction/exchange_test.cc.o.d"
+  "CMakeFiles/auction_tests.dir/auction/ledger_test.cc.o"
+  "CMakeFiles/auction_tests.dir/auction/ledger_test.cc.o.d"
+  "CMakeFiles/auction_tests.dir/auction/targeting_test.cc.o"
+  "CMakeFiles/auction_tests.dir/auction/targeting_test.cc.o.d"
+  "auction_tests"
+  "auction_tests.pdb"
+  "auction_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/ad_cache_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/ad_cache_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/config_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/config_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/event_log_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/event_log_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/metrics_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/metrics_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/pad_client_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/pad_client_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/pad_server_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/pad_server_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/pad_simulation_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/pad_simulation_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/targeting_dispatch_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/targeting_dispatch_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/wifi_policy_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/wifi_policy_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

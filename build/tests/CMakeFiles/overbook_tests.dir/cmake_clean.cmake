@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overbook_tests.dir/overbook/display_model_test.cc.o"
+  "CMakeFiles/overbook_tests.dir/overbook/display_model_test.cc.o.d"
+  "CMakeFiles/overbook_tests.dir/overbook/poisson_binomial_test.cc.o"
+  "CMakeFiles/overbook_tests.dir/overbook/poisson_binomial_test.cc.o.d"
+  "CMakeFiles/overbook_tests.dir/overbook/replication_planner_test.cc.o"
+  "CMakeFiles/overbook_tests.dir/overbook/replication_planner_test.cc.o.d"
+  "overbook_tests"
+  "overbook_tests.pdb"
+  "overbook_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overbook_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

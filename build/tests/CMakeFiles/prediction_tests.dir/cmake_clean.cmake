@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prediction_tests.dir/prediction/evaluation_test.cc.o"
+  "CMakeFiles/prediction_tests.dir/prediction/evaluation_test.cc.o.d"
+  "CMakeFiles/prediction_tests.dir/prediction/markov_weekly_test.cc.o"
+  "CMakeFiles/prediction_tests.dir/prediction/markov_weekly_test.cc.o.d"
+  "CMakeFiles/prediction_tests.dir/prediction/predictors_test.cc.o"
+  "CMakeFiles/prediction_tests.dir/prediction/predictors_test.cc.o.d"
+  "CMakeFiles/prediction_tests.dir/prediction/slot_series_test.cc.o"
+  "CMakeFiles/prediction_tests.dir/prediction/slot_series_test.cc.o.d"
+  "prediction_tests"
+  "prediction_tests.pdb"
+  "prediction_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prediction_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio_tests.dir/radio/machine_test.cc.o"
+  "CMakeFiles/radio_tests.dir/radio/machine_test.cc.o.d"
+  "CMakeFiles/radio_tests.dir/radio/profile_test.cc.o"
+  "CMakeFiles/radio_tests.dir/radio/profile_test.cc.o.d"
+  "radio_tests"
+  "radio_tests.pdb"
+  "radio_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

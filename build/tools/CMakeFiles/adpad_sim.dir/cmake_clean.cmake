@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adpad_sim.dir/adpad_sim.cc.o"
+  "CMakeFiles/adpad_sim.dir/adpad_sim.cc.o.d"
+  "adpad_sim"
+  "adpad_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adpad_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
