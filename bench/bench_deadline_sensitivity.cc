@@ -7,21 +7,27 @@
 namespace pad {
 namespace {
 
-void Run(int num_users) {
+void Run(int num_users, const SweepOptions& sweep) {
   PadConfig config = bench::StandardConfig(num_users);
 
   PrintBanner(std::cout, "E8: display deadline sweep (T = 1 h)");
-  TextTable table(bench::MetricsHeader("deadline"));
-  for (double deadline_min : {15.0, 30.0, 60.0, 120.0, 240.0}) {
+  // Campaign deadlines are part of the generated inputs, so each point is a
+  // full (inputs + baseline + pad) job — exactly the RunComparisonMany shape
+  // (the trace itself is seed-identical across points).
+  const std::vector<double> deadlines_min = {15.0, 30.0, 60.0, 120.0, 240.0};
+  std::vector<PadConfig> points;
+  points.reserve(deadlines_min.size());
+  for (double deadline_min : deadlines_min) {
     PadConfig point = config;
     point.deadline_s = deadline_min * kMinute;
-    // Campaign deadlines are part of the generated inputs, so inputs are
-    // rebuilt per point (the trace itself is seed-identical across points).
-    const SimInputs inputs = GenerateInputs(point);
-    const BaselineResult baseline = RunBaseline(point, inputs);
-    const PadRunResult pad = RunPad(point, inputs);
-    table.AddRow(
-        bench::MetricsRow(FormatDouble(deadline_min, 0) + "min", baseline, pad));
+    points.push_back(point);
+  }
+  const std::vector<Comparison> results = RunComparisonMany(points, sweep);
+
+  TextTable table(bench::MetricsHeader("deadline"));
+  for (size_t i = 0; i < points.size(); ++i) {
+    table.AddRow(bench::MetricsRow(FormatDouble(deadlines_min[i], 0) + "min",
+                                   results[i].baseline, results[i].pad));
   }
   table.Print(std::cout);
 
@@ -33,6 +39,6 @@ void Run(int num_users) {
 }  // namespace pad
 
 int main(int argc, char** argv) {
-  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250));
+  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250), pad::bench::SweepOptionsFromArgv(argc, argv));
   return 0;
 }

@@ -7,7 +7,7 @@
 namespace pad {
 namespace {
 
-void Run(int num_users) {
+void Run(int num_users, const SweepOptions& sweep) {
   PadConfig config = bench::StandardConfig(num_users);
   config.planner.max_replicas = 8;
   const SimInputs inputs = GenerateInputs(config);
@@ -15,43 +15,46 @@ void Run(int num_users) {
 
   PrintBanner(std::cout,
               "E6: fixed overbooking factor sweep (target expected displays per sale)");
-  TextTable table(bench::MetricsHeader("factor"));
-  for (double factor : {0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0}) {
+  const std::vector<double> factors = {0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0};
+  std::vector<PadConfig> factor_points;
+  for (double factor : factors) {
     PadConfig point = config;
     point.overbooking_factor = factor;
-    const PadRunResult result = RunPad(point, inputs);
-    table.AddRow(bench::MetricsRow(FormatDouble(factor, 2), baseline, result));
+    factor_points.push_back(point);
+  }
+  TextTable table(bench::MetricsHeader("factor"));
+  const std::vector<PadRunResult> factor_runs = RunPadMany(factor_points, inputs, sweep);
+  for (size_t i = 0; i < factors.size(); ++i) {
+    table.AddRow(bench::MetricsRow(FormatDouble(factors[i], 2), baseline, factor_runs[i]));
   }
   table.Print(std::cout);
 
   PrintBanner(std::cout, "E6: adaptive planner (PlanToTarget) across SLA targets");
-  TextTable adaptive(bench::MetricsHeader("sla_target"));
-  for (double target : {0.80, 0.90, 0.95, 0.99}) {
+  const std::vector<double> targets = {0.80, 0.90, 0.95, 0.99};
+  std::vector<PadConfig> target_points;
+  for (double target : targets) {
     PadConfig point = config;
     point.overbooking_factor = -1.0;  // Adaptive mode.
     point.planner.sla_target = target;
-    const PadRunResult result = RunPad(point, inputs);
-    adaptive.AddRow(bench::MetricsRow(FormatDouble(target, 2), baseline, result));
+    target_points.push_back(point);
+  }
+  TextTable adaptive(bench::MetricsHeader("sla_target"));
+  const std::vector<PadRunResult> target_runs = RunPadMany(target_points, inputs, sweep);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    adaptive.AddRow(bench::MetricsRow(FormatDouble(targets[i], 2), baseline, target_runs[i]));
   }
   adaptive.Print(std::cout);
 
   PrintBanner(std::cout, "E6: ablation — invalidation sync and rescue pass");
+  std::vector<PadConfig> ablation_points(3, config);
+  ablation_points[1].rescue_enabled = false;
+  ablation_points[2].invalidation_sync = false;
+  ablation_points[2].rescue_enabled = false;
   TextTable ablation(bench::MetricsHeader("mechanism"));
-  {
-    const PadRunResult all_on = RunPad(config, inputs);
-    ablation.AddRow(bench::MetricsRow("full system", baseline, all_on));
-  }
-  {
-    PadConfig point = config;
-    point.rescue_enabled = false;
-    ablation.AddRow(bench::MetricsRow("no rescue pass", baseline, RunPad(point, inputs)));
-  }
-  {
-    PadConfig point = config;
-    point.invalidation_sync = false;
-    point.rescue_enabled = false;
-    ablation.AddRow(bench::MetricsRow("no sync, no rescue", baseline, RunPad(point, inputs)));
-  }
+  const std::vector<PadRunResult> ablation_runs = RunPadMany(ablation_points, inputs, sweep);
+  ablation.AddRow(bench::MetricsRow("full system", baseline, ablation_runs[0]));
+  ablation.AddRow(bench::MetricsRow("no rescue pass", baseline, ablation_runs[1]));
+  ablation.AddRow(bench::MetricsRow("no sync, no rescue", baseline, ablation_runs[2]));
   ablation.Print(std::cout);
 }
 
@@ -59,6 +62,6 @@ void Run(int num_users) {
 }  // namespace pad
 
 int main(int argc, char** argv) {
-  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250));
+  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250), pad::bench::SweepOptionsFromArgv(argc, argv));
   return 0;
 }

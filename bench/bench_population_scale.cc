@@ -2,20 +2,29 @@
 // replica planner (and the rescue pass) need a large enough population to
 // find capable backups. Small deployments see worse SLA/loss at the same
 // policy settings.
+//
+// Each population size is one independent paired run, so the seven points
+// fan out across the sweep engine; `--threads N` sets the concurrency and
+// leaves every number bit-identical to the serial run.
 #include "bench/bench_util.h"
 
 namespace pad {
 namespace {
 
-void Run() {
+void Run(const SweepOptions& sweep) {
   PrintBanner(std::cout, "E10: metrics vs population size (same policy everywhere)");
+  const std::vector<int> sizes = {10, 25, 50, 100, 200, 400, 800};
+  std::vector<PadConfig> configs;
+  configs.reserve(sizes.size());
+  for (int users : sizes) {
+    configs.push_back(bench::StandardConfig(users));
+  }
+  const std::vector<Comparison> results = RunComparisonMany(configs, sweep);
+
   TextTable table(bench::MetricsHeader("users"));
-  for (int users : {10, 25, 50, 100, 200, 400, 800}) {
-    PadConfig config = bench::StandardConfig(users);
-    const SimInputs inputs = GenerateInputs(config);
-    const BaselineResult baseline = RunBaseline(config, inputs);
-    const PadRunResult pad = RunPad(config, inputs);
-    table.AddRow(bench::MetricsRow(std::to_string(users), baseline, pad));
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    table.AddRow(bench::MetricsRow(std::to_string(sizes[i]), results[i].baseline,
+                                   results[i].pad));
   }
   table.Print(std::cout);
 }
@@ -23,7 +32,7 @@ void Run() {
 }  // namespace
 }  // namespace pad
 
-int main() {
-  pad::Run();
+int main(int argc, char** argv) {
+  pad::Run(pad::bench::SweepOptionsFromArgv(argc, argv));
   return 0;
 }

@@ -8,18 +8,24 @@
 namespace pad {
 namespace {
 
-void Run(int num_users) {
+void Run(int num_users, const SweepOptions& sweep) {
   PadConfig config = bench::StandardConfig(num_users);
   config.use_noisy_oracle = true;
   const SimInputs inputs = GenerateInputs(config);
   const BaselineResult baseline = RunBaseline(config, inputs);
 
   PrintBanner(std::cout, "E11: noisy-oracle sigma sweep (lognormal, mean-preserving)");
-  TextTable table(bench::MetricsHeader("noise_sigma"));
-  for (double sigma : {0.0, 0.25, 0.5, 0.75, 1.0, 1.5}) {
+  const std::vector<double> sigmas = {0.0, 0.25, 0.5, 0.75, 1.0, 1.5};
+  std::vector<PadConfig> points;
+  for (double sigma : sigmas) {
     PadConfig point = config;
     point.oracle_noise_sigma = sigma;
-    table.AddRow(bench::MetricsRow(FormatDouble(sigma, 2), baseline, RunPad(point, inputs)));
+    points.push_back(point);
+  }
+  TextTable table(bench::MetricsHeader("noise_sigma"));
+  const std::vector<PadRunResult> runs = RunPadMany(points, inputs, sweep);
+  for (size_t i = 0; i < sigmas.size(); ++i) {
+    table.AddRow(bench::MetricsRow(FormatDouble(sigmas[i], 2), baseline, runs[i]));
   }
   table.Print(std::cout);
 
@@ -35,6 +41,6 @@ void Run(int num_users) {
 }  // namespace pad
 
 int main(int argc, char** argv) {
-  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250));
+  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250), pad::bench::SweepOptionsFromArgv(argc, argv));
   return 0;
 }

@@ -4,11 +4,14 @@
 // paper's evaluation (see DESIGN.md §4 for the experiment index and
 // EXPERIMENTS.md for paper-vs-measured). Populations are scaled down from
 // the paper's 1,700 users so the full suite runs in minutes; pass a user
-// count as argv[1] to run any harness at full scale.
+// count as argv[1] to run any harness at full scale, and `--threads N` to
+// fan the sweep's independent runs across N threads (results are
+// bit-identical for any N — see src/core/sweep.h).
 #ifndef ADPAD_BENCH_BENCH_UTIL_H_
 #define ADPAD_BENCH_BENCH_UTIL_H_
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
@@ -16,6 +19,7 @@
 #include "src/common/table.h"
 #include "src/common/units.h"
 #include "src/core/pad_simulation.h"
+#include "src/core/sweep.h"
 
 namespace pad {
 namespace bench {
@@ -32,13 +36,33 @@ inline PadConfig StandardConfig(int num_users) {
 }
 
 inline int UsersFromArgv(int argc, char** argv, int default_users) {
-  if (argc > 1) {
-    const int users = std::atoi(argv[1]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      if (std::strchr(argv[i], '=') == nullptr) {
+        ++i;  // Space-separated flag: skip its value too.
+      }
+      continue;
+    }
+    const int users = std::atoi(argv[i]);
     if (users > 0) {
       return users;
     }
   }
   return default_users;
+}
+
+// `--threads N` (or `--threads=N`): concurrency of the sweep fan-out.
+// Defaults to 1 (serial); 0 asks the hardware.
+inline SweepOptions SweepOptionsFromArgv(int argc, char** argv) {
+  SweepOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      options.threads = std::atoi(argv[i + 1]);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      options.threads = std::atoi(argv[i] + 10);
+    }
+  }
+  return options;
 }
 
 inline std::string Pct(double fraction, int precision = 1) {

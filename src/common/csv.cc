@@ -62,8 +62,16 @@ std::vector<std::string> SplitFields(std::string_view line) {
 }  // namespace
 
 CsvTable ParseCsv(std::string_view text) {
+  std::string error;
+  std::optional<CsvTable> table = TryParseCsv(text, &error);
+  PAD_CHECK_MSG(table.has_value(), error.c_str());
+  return *std::move(table);
+}
+
+std::optional<CsvTable> TryParseCsv(std::string_view text, std::string* error) {
   CsvTable table;
   size_t pos = 0;
+  int line_number = 0;
   while (pos <= text.size()) {
     size_t end = text.find('\n', pos);
     if (end == std::string_view::npos) {
@@ -74,6 +82,7 @@ CsvTable ParseCsv(std::string_view text) {
       line.remove_suffix(1);
     }
     pos = end + 1;
+    ++line_number;
     if (line.empty() || line.front() == '#') {
       if (pos > text.size()) {
         break;
@@ -84,7 +93,12 @@ CsvTable ParseCsv(std::string_view text) {
     if (table.header.empty()) {
       table.header = std::move(fields);
     } else {
-      PAD_CHECK_MSG(fields.size() == table.header.size(), "ragged CSV row");
+      if (fields.size() != table.header.size()) {
+        *error = "ragged CSV row at line " + std::to_string(line_number) + ": expected " +
+                 std::to_string(table.header.size()) + " fields, got " +
+                 std::to_string(fields.size());
+        return std::nullopt;
+      }
       table.rows.push_back(std::move(fields));
     }
     if (pos > text.size()) {

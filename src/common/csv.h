@@ -8,6 +8,7 @@
 #define ADPAD_SRC_COMMON_CSV_H_
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -43,6 +44,11 @@ struct CsvTable {
 // Parses CSV text. Empty lines and lines starting with '#' are skipped.
 // Aborts on ragged rows (every data row must match the header's arity).
 CsvTable ParseCsv(std::string_view text);
+
+// Non-aborting variant for externally supplied files: a ragged row (e.g. a
+// truncated last line) returns nullopt with a diagnostic in *error instead
+// of taking the process down.
+std::optional<CsvTable> TryParseCsv(std::string_view text, std::string* error);
 
 // Reads and parses a CSV file; aborts if the file cannot be opened.
 CsvTable ReadCsvFile(const std::string& path);

@@ -10,6 +10,20 @@ namespace {
 
 inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
+// Thread-compatible log-gamma. std::lgamma writes the process-global
+// `signgam` on glibc — a data race when parallel sweeps draw Poisson counts
+// concurrently (caught by TSan). lgamma_r is the reentrant form; it is not
+// declared under strict -std=c++20, so declare it ourselves where available.
+#if defined(__GLIBC__) || defined(__unix__) || defined(__APPLE__)
+extern "C" double lgamma_r(double, int*);
+inline double LogGamma(double x) {
+  int sign;
+  return lgamma_r(x, &sign);
+}
+#else
+inline double LogGamma(double x) { return std::lgamma(x); }
+#endif
+
 uint64_t SplitMix64(uint64_t& state) {
   uint64_t z = (state += 0x9e3779b97f4a7c15ull);
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
@@ -131,7 +145,7 @@ int Rng::Poisson(double mean) {
     }
     const double log_mean = std::log(mean);
     if (std::log(v * inv_alpha / (a / (us * us) + b)) <=
-        k * log_mean - mean - std::lgamma(k + 1.0)) {
+        k * log_mean - mean - LogGamma(k + 1.0)) {
       return static_cast<int>(k);
     }
   }

@@ -1,0 +1,126 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace pad {
+
+int ThreadPool::HardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads <= 0 ? HardwareThreads() : num_threads) {
+  // The caller participates in every batch, so n threads of concurrency
+  // means n - 1 parked workers.
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& body) {
+  if (n <= 0) {
+    return;
+  }
+  if (num_threads_ == 1 || n == 1) {
+    for (int64_t i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PAD_CHECK_MSG(body_ == nullptr, "ThreadPool::ParallelFor is not reentrant");
+    body_ = &body;
+    batch_size_ = n;
+    cursor_.store(0);
+    completed_.store(0);
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+
+  DrainBatch(body, n);
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    batch_done_.wait(lock,
+                     [&] { return completed_.load() == n && active_workers_ == 0; });
+    // Close the batch under the lock: any worker waking late sees a null
+    // body and goes back to sleep instead of touching stale state.
+    body_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int64_t)>* body = nullptr;
+    int64_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) {
+        return;
+      }
+      seen_generation = generation_;
+      if (body_ == nullptr) {
+        continue;  // Woke after the batch closed; nothing to do.
+      }
+      body = body_;
+      n = batch_size_;
+      ++active_workers_;
+    }
+    DrainBatch(*body, n);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_workers_;
+    }
+    batch_done_.notify_all();
+  }
+}
+
+void ThreadPool::DrainBatch(const std::function<void(int64_t)>& body, int64_t n) {
+  for (;;) {
+    const int64_t i = cursor_.fetch_add(1);
+    if (i >= n) {
+      return;
+    }
+    try {
+      body(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      }
+    }
+    if (completed_.fetch_add(1) + 1 == n) {
+      // Take and drop the lock before notifying so a waiter that read the
+      // old count cannot miss the wakeup between its check and its sleep.
+      { std::lock_guard<std::mutex> lock(mutex_); }
+      batch_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace pad

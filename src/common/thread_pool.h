@@ -1,0 +1,80 @@
+// A deliberately simple parallel-for thread pool for sweep fan-out.
+//
+// Design constraints, in order:
+//   1. Determinism. The pool never owns randomness and never reorders
+//      results: callers index jobs [0, n) and slot outputs by index, so the
+//      observable result of a batch is independent of thread count and of
+//      which worker ran which index. There is no work stealing and no
+//      per-thread state a job could accidentally couple to.
+//   2. Simplicity. One shared atomic cursor hands out indices; workers park
+//      on a condition variable between batches. Jobs are expected to be
+//      coarse (whole simulation runs, seconds each), so cursor contention is
+//      irrelevant and chunking is unnecessary.
+//
+// Jobs must be thread-compatible: a job may freely mutate state reachable
+// only from its own index and read shared immutable inputs, but must not
+// touch another index's state. The simulation run path satisfies this by
+// construction (every run owns its Simulator, Exchange, clients, and RNGs,
+// all seeded from the run's config — see DESIGN.md "Parallel sweeps").
+#ifndef ADPAD_SRC_COMMON_THREAD_POOL_H_
+#define ADPAD_SRC_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pad {
+
+class ThreadPool {
+ public:
+  // `num_threads` <= 0 asks the hardware (HardwareThreads()); 1 creates no
+  // workers at all and runs every batch inline on the caller.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Runs body(i) once for every i in [0, n) and blocks until all complete.
+  // The caller participates, so even a saturated pool makes progress. If any
+  // body throws, the first exception (by completion order) is rethrown here
+  // after the batch drains; the remaining indices still run.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& body);
+
+  // Number of concurrent hardware threads, always >= 1.
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+  // Claims indices from the current batch until it is exhausted.
+  void DrainBatch(const std::function<void(int64_t)>& body, int64_t n);
+
+  const int num_threads_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  // Batch state, guarded by mutex_ (cursor_ is atomic so workers can claim
+  // without the lock once released into a batch).
+  const std::function<void(int64_t)>* body_ = nullptr;
+  int64_t batch_size_ = 0;
+  std::atomic<int64_t> cursor_{0};
+  std::atomic<int64_t> completed_{0};
+  uint64_t generation_ = 0;
+  int active_workers_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_COMMON_THREAD_POOL_H_

@@ -60,6 +60,11 @@ class EventLog : public LedgerObserver {
   // CSV export: time,type,impression_id,campaign_id,client_id,value.
   void WriteCsv(std::ostream& out) const;
 
+  // FNV-1a digest over every field of every event, in order. Two logs with
+  // equal digests recorded byte-identical event streams; the parallel
+  // determinism tests compare serial and threaded runs through this.
+  uint64_t Digest() const;
+
   // Events of one type bucketed by hour of day (24 bins, counts).
   std::array<int64_t, 24> ByHourOfDay(SimEventType type) const;
 

@@ -1,0 +1,138 @@
+#include "src/core/sweep.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/common/thread_pool.h"
+
+namespace pad {
+namespace {
+
+// FNV-1a, 64-bit.
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+class Digest {
+ public:
+  Digest& Mix(double value) {
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return MixU64(bits);
+  }
+  Digest& Mix(int64_t value) { return MixU64(static_cast<uint64_t>(value)); }
+
+  Digest& Mix(const CategoryEnergy& energy) {
+    return Mix(energy.transfer_j).Mix(energy.tail_j).Mix(energy.bytes).Mix(energy.transfers);
+  }
+  Digest& Mix(const EnergyBreakdown& energy) {
+    for (const CategoryEnergy& category : energy.radio.by_category) {
+      Mix(category);
+    }
+    return Mix(energy.radio.promo_time_s)
+        .Mix(energy.radio.active_time_s)
+        .Mix(energy.radio.tail_time_s)
+        .Mix(energy.local_j);
+  }
+  Digest& Mix(const LedgerTotals& ledger) {
+    return Mix(ledger.sold)
+        .Mix(ledger.billed)
+        .Mix(ledger.violated)
+        .Mix(ledger.excess_displays)
+        .Mix(ledger.displays)
+        .Mix(ledger.billed_revenue)
+        .Mix(ledger.violated_value);
+  }
+  Digest& Mix(const ServiceStats& service) {
+    return Mix(service.slots)
+        .Mix(service.served_from_cache)
+        .Mix(service.fallback_fetches)
+        .Mix(service.unfilled)
+        .Mix(service.expired_cache_drops);
+  }
+
+  uint64_t value() const { return hash_; }
+
+ private:
+  Digest& MixU64(uint64_t bits) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash_ ^= (bits >> (8 * byte)) & 0xffull;
+      hash_ *= kFnvPrime;
+    }
+    return *this;
+  }
+
+  uint64_t hash_ = kFnvOffset;
+};
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::vector<Comparison> RunComparisonMany(std::span<const PadConfig> configs,
+                                          const SweepOptions& options) {
+  std::vector<Comparison> results(configs.size());
+  ThreadPool pool(options.threads);
+  pool.ParallelFor(static_cast<int64_t>(configs.size()), [&](int64_t i) {
+    results[static_cast<size_t>(i)] = RunComparison(configs[static_cast<size_t>(i)]);
+  });
+  return results;
+}
+
+std::vector<PadRunResult> RunPadMany(std::span<const PadConfig> configs,
+                                     const SimInputs& inputs, const SweepOptions& options,
+                                     std::vector<EventLog>* event_logs) {
+  std::vector<PadRunResult> results(configs.size());
+  if (event_logs != nullptr) {
+    event_logs->assign(configs.size(), EventLog());
+  }
+  ThreadPool pool(options.threads);
+  pool.ParallelFor(static_cast<int64_t>(configs.size()), [&](int64_t i) {
+    const size_t job = static_cast<size_t>(i);
+    EventLog* log = event_logs != nullptr ? &(*event_logs)[job] : nullptr;
+    results[job] = RunPad(configs[job], inputs, log);
+  });
+  return results;
+}
+
+std::vector<PadConfig> ReplicateWithSeeds(const PadConfig& base, int n, uint64_t base_seed) {
+  PAD_CHECK(n >= 0);
+  uint64_t state = base_seed;
+  std::vector<PadConfig> configs(static_cast<size_t>(n), base);
+  for (PadConfig& config : configs) {
+    const uint64_t seed = SplitMix64(state);
+    config.seed = seed;
+    config.population.seed = SplitMix64(state);
+    config.campaigns.seed = SplitMix64(state);
+  }
+  return configs;
+}
+
+uint64_t MetricsDigest(const BaselineResult& result) {
+  Digest digest;
+  digest.Mix(result.energy).Mix(result.ledger).Mix(result.service).Mix(result.scored_days);
+  return digest.value();
+}
+
+uint64_t MetricsDigest(const PadRunResult& result) {
+  Digest digest;
+  digest.Mix(result.energy).Mix(result.ledger).Mix(result.service).Mix(result.scored_days);
+  for (const CalibrationBucket& bucket : result.calibration) {
+    digest.Mix(bucket.planned).Mix(bucket.delivered).Mix(bucket.sum_predicted);
+  }
+  digest.Mix(result.impressions_dispatched).Mix(result.impressions_sold);
+  return digest.value();
+}
+
+uint64_t ComparisonDigest(const Comparison& comparison) {
+  Digest digest;
+  digest.Mix(static_cast<int64_t>(MetricsDigest(comparison.baseline)))
+      .Mix(static_cast<int64_t>(MetricsDigest(comparison.pad)));
+  return digest.value();
+}
+
+}  // namespace pad

@@ -1,0 +1,65 @@
+// Parallel sweep engine: fans independent simulation runs out across a
+// ThreadPool and returns results in submission order.
+//
+// Determinism contract: for a fixed config list, every result (metrics,
+// ledger totals, event-log digest) is bit-identical regardless of the thread
+// count or the schedule. Two properties make this hold:
+//   * every job is hermetic — each run builds its own Simulator, Exchange,
+//     clients, predictors, and RNG streams from the job's config seeds, and
+//     shared SimInputs are read-only on the run path;
+//   * results are slotted by submission index, never by completion order.
+// tests/integration/parallel_determinism_test.cc enforces the contract.
+//
+// Parallelism is applied at sweep granularity (one job = one whole run), not
+// by sharding a single population across threads: overbooking pools risk
+// across the entire population (E10), so a sharded run would change which
+// replica candidates a dispatch sees and with it the simulated semantics.
+#ifndef ADPAD_SRC_CORE_SWEEP_H_
+#define ADPAD_SRC_CORE_SWEEP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/event_log.h"
+#include "src/core/metrics.h"
+#include "src/core/pad_simulation.h"
+
+namespace pad {
+
+struct SweepOptions {
+  // Total concurrency of the fan-out (the calling thread participates).
+  // 1 runs everything inline with no threads created; 0 asks the hardware.
+  int threads = 1;
+};
+
+// Runs RunComparison(configs[i]) for every config — inputs generated per job
+// from the job's own config — and returns the comparisons in config order.
+std::vector<Comparison> RunComparisonMany(std::span<const PadConfig> configs,
+                                          const SweepOptions& options = {});
+
+// Shared-input sweep: runs RunPad(configs[i], inputs) for every config
+// against one immutable input set (the shape of the policy benches, where
+// the trace is held fixed while a knob sweeps). When `event_logs` is
+// non-null it is resized to configs.size() and log i records run i.
+std::vector<PadRunResult> RunPadMany(std::span<const PadConfig> configs,
+                                     const SimInputs& inputs,
+                                     const SweepOptions& options = {},
+                                     std::vector<EventLog>* event_logs = nullptr);
+
+// Monte-Carlo helper: n copies of `base` whose seeds are decorrelated
+// SplitMix64 draws from `base_seed`, for replication studies where each job
+// must see an independent trace and market.
+std::vector<PadConfig> ReplicateWithSeeds(const PadConfig& base, int n, uint64_t base_seed);
+
+// FNV-1a digests over every field of a result, field by field (never raw
+// struct bytes — padding is indeterminate). Two runs are byte-identical iff
+// their digests match; the equivalence tests compare these.
+uint64_t MetricsDigest(const BaselineResult& result);
+uint64_t MetricsDigest(const PadRunResult& result);
+uint64_t ComparisonDigest(const Comparison& comparison);
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_CORE_SWEEP_H_

@@ -21,6 +21,12 @@ void WriteTraceFile(const Population& population, const std::string& path);
 Population ParseTrace(std::string_view text);
 Population ReadTraceFile(const std::string& path);
 
+// Non-aborting parse for externally supplied traces: malformed input — a
+// truncated line, a ragged row, a non-numeric or out-of-range field, a
+// missing required column — fills *error with a diagnostic and returns
+// false, leaving *population untouched. ParseTrace is this plus an abort.
+bool TryParseTrace(std::string_view text, Population* population, std::string* error);
+
 }  // namespace pad
 
 #endif  // ADPAD_SRC_TRACE_TRACE_IO_H_

@@ -1,0 +1,91 @@
+// Golden determinism test: one fixed-seed run with exact expected values.
+//
+// Any accidental nondeterminism (uninitialized reads, iteration over
+// pointer-keyed containers, a stray global RNG) or unintended semantics
+// drift (a refactor that changes results while claiming not to) fails this
+// test loudly. If you *intended* to change simulation semantics, regenerate
+// the constants by building with -DADPAD_REGENERATE_GOLDEN and running this
+// test; it prints the new literals.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/common/units.h"
+#include "src/core/sweep.h"
+
+namespace pad {
+namespace {
+
+PadConfig GoldenConfig() {
+  PadConfig config = QuickConfig();  // 40 users, 10 days, 1 warmup week.
+  config.seed = 1234;
+  config.population.seed = 42;
+  config.campaigns.seed = 7;
+  return config;
+}
+
+TEST(GoldenDeterminismTest, FixedSeedRunMatchesGoldenValues) {
+  const Comparison comparison = RunComparison(GoldenConfig());
+  const BaselineResult& baseline = comparison.baseline;
+  const PadRunResult& pad = comparison.pad;
+
+#ifdef ADPAD_REGENERATE_GOLDEN
+  std::printf("baseline.ledger.sold = %lld\n", (long long)baseline.ledger.sold);
+  std::printf("baseline.ledger.billed = %lld\n", (long long)baseline.ledger.billed);
+  std::printf("baseline.ledger.billed_revenue = %.17g\n", baseline.ledger.billed_revenue);
+  std::printf("baseline.service.slots = %lld\n", (long long)baseline.service.slots);
+  std::printf("baseline.energy.AdEnergyJ = %.17g\n", baseline.energy.AdEnergyJ());
+  std::printf("pad.ledger.sold = %lld\n", (long long)pad.ledger.sold);
+  std::printf("pad.ledger.billed = %lld\n", (long long)pad.ledger.billed);
+  std::printf("pad.ledger.violated = %lld\n", (long long)pad.ledger.violated);
+  std::printf("pad.ledger.excess_displays = %lld\n", (long long)pad.ledger.excess_displays);
+  std::printf("pad.ledger.billed_revenue = %.17g\n", pad.ledger.billed_revenue);
+  std::printf("pad.service.slots = %lld\n", (long long)pad.service.slots);
+  std::printf("pad.service.served_from_cache = %lld\n",
+              (long long)pad.service.served_from_cache);
+  std::printf("pad.service.fallback_fetches = %lld\n",
+              (long long)pad.service.fallback_fetches);
+  std::printf("pad.energy.AdEnergyJ = %.17g\n", pad.energy.AdEnergyJ());
+  std::printf("pad.impressions_sold = %lld\n", (long long)pad.impressions_sold);
+  std::printf("pad.impressions_dispatched = %lld\n", (long long)pad.impressions_dispatched);
+  std::printf("ComparisonDigest = 0x%016llxull\n",
+              (unsigned long long)ComparisonDigest(comparison));
+  GTEST_SKIP() << "regeneration mode: constants printed above";
+#else
+  // Integer-valued metrics: exact by construction.
+  EXPECT_EQ(baseline.ledger.sold, 19730);
+  EXPECT_EQ(baseline.ledger.billed, 19730);
+  EXPECT_EQ(baseline.service.slots, 19730);
+  EXPECT_EQ(pad.ledger.sold, 19785);
+  EXPECT_EQ(pad.ledger.billed, 18940);
+  EXPECT_EQ(pad.ledger.violated, 845);
+  EXPECT_EQ(pad.ledger.excess_displays, 790);
+  EXPECT_EQ(pad.service.slots, 19730);
+  EXPECT_EQ(pad.service.served_from_cache, 12210);
+  EXPECT_EQ(pad.service.fallback_fetches, 7520);
+  EXPECT_EQ(pad.impressions_sold, 12265);
+  EXPECT_EQ(pad.impressions_dispatched, 15067);
+
+  // Floating-point metrics: compared bit-exactly (EXPECT_EQ, not NEAR) —
+  // the run is deterministic, so any difference is a real change.
+  EXPECT_EQ(baseline.ledger.billed_revenue, 93.977484878703081);
+  EXPECT_EQ(baseline.energy.AdEnergyJ(), 149968.83021806652);
+  EXPECT_EQ(pad.ledger.billed_revenue, 90.046139850552564);
+  EXPECT_EQ(pad.energy.AdEnergyJ(), 65666.334747692817);
+
+  // One digest over every field of both runs, so drift anywhere fails even
+  // if no spot-checked metric moved.
+  EXPECT_EQ(ComparisonDigest(comparison), 0xbdba394e3827526dull);
+#endif
+}
+
+TEST(GoldenDeterminismTest, BackToBackRunsAreByteIdentical) {
+  const Comparison first = RunComparison(GoldenConfig());
+  const Comparison second = RunComparison(GoldenConfig());
+  EXPECT_EQ(ComparisonDigest(first), ComparisonDigest(second));
+  EXPECT_EQ(MetricsDigest(first.baseline), MetricsDigest(second.baseline));
+  EXPECT_EQ(MetricsDigest(first.pad), MetricsDigest(second.pad));
+}
+
+}  // namespace
+}  // namespace pad

@@ -79,6 +79,101 @@ TEST(PoissonBinomialTest, TailMonotoneInProbabilities) {
   }
 }
 
+// Brute-force reference: enumerate all 2^n outcomes of the independent
+// Bernoulli trials and accumulate each outcome's probability by its success
+// count. Exponential, so only usable for n <= ~12 — which is exactly the
+// replica-count regime the planner lives in.
+std::vector<double> BruteForcePmf(const std::vector<double>& probs) {
+  const size_t n = probs.size();
+  std::vector<double> pmf(n + 1, 0.0);
+  for (uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    double probability = 1.0;
+    int successes = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1ull) {
+        probability *= probs[i];
+        ++successes;
+      } else {
+        probability *= 1.0 - probs[i];
+      }
+    }
+    pmf[static_cast<size_t>(successes)] += probability;
+  }
+  return pmf;
+}
+
+TEST(PoissonBinomialPropertyTest, PmfMatchesBruteForceEnumeration) {
+  Rng rng(20260806);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = static_cast<int>(rng.UniformInt(1, 12));
+    std::vector<double> probs;
+    for (int i = 0; i < n; ++i) {
+      // Include occasional exact-0 and exact-1 entries: the DP must handle
+      // degenerate trials, and the planner feeds it both.
+      const double u = rng.NextDouble();
+      probs.push_back(u < 0.05 ? 0.0 : (u > 0.95 ? 1.0 : rng.NextDouble()));
+    }
+    const std::vector<double> expected = BruteForcePmf(probs);
+    const std::vector<double> actual = PoissonBinomialPmf(probs);
+    ASSERT_EQ(actual.size(), expected.size()) << "trial=" << trial << " n=" << n;
+    for (size_t k = 0; k < expected.size(); ++k) {
+      EXPECT_NEAR(actual[k], expected[k], 1e-12)
+          << "trial=" << trial << " n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(PoissonBinomialPropertyTest, TailMatchesBruteForceEnumeration) {
+  Rng rng(77123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(rng.UniformInt(1, 10));
+    std::vector<double> probs;
+    for (int i = 0; i < n; ++i) {
+      probs.push_back(rng.NextDouble());
+    }
+    const std::vector<double> pmf = BruteForcePmf(probs);
+    for (int k = 0; k <= n + 1; ++k) {
+      double expected = 0.0;
+      for (int j = k; j <= n; ++j) {
+        expected += pmf[static_cast<size_t>(j)];
+      }
+      EXPECT_NEAR(PoissonBinomialTailGeq(probs, k), expected, 1e-12)
+          << "trial=" << trial << " n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(PoissonBinomialPropertyTest, MeanVarianceIdentitiesForLargeN) {
+  // For any independent-trial vector, mean = sum p_i and
+  // variance = sum p_i (1 - p_i); check both against the PMF's own moments
+  // at sizes far past the enumerable regime.
+  Rng rng(424242);
+  for (int n : {50, 200, 500}) {
+    std::vector<double> probs;
+    double expected_mean = 0.0;
+    double expected_variance = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double p = rng.NextDouble();
+      probs.push_back(p);
+      expected_mean += p;
+      expected_variance += p * (1.0 - p);
+    }
+    EXPECT_NEAR(PoissonBinomialMean(probs), expected_mean, 1e-9 * n) << "n=" << n;
+    EXPECT_NEAR(PoissonBinomialVariance(probs), expected_variance, 1e-9 * n) << "n=" << n;
+
+    // The exact PMF's first two moments must agree with the closed forms.
+    const std::vector<double> pmf = PoissonBinomialPmf(probs);
+    double pmf_mean = 0.0;
+    double pmf_second = 0.0;
+    for (size_t k = 0; k < pmf.size(); ++k) {
+      pmf_mean += static_cast<double>(k) * pmf[k];
+      pmf_second += static_cast<double>(k) * static_cast<double>(k) * pmf[k];
+    }
+    EXPECT_NEAR(pmf_mean, expected_mean, 1e-7 * n) << "n=" << n;
+    EXPECT_NEAR(pmf_second - pmf_mean * pmf_mean, expected_variance, 1e-6 * n) << "n=" << n;
+  }
+}
+
 TEST(NormalCdfTest, KnownValues) {
   EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
   EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);

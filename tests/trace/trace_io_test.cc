@@ -95,8 +95,113 @@ TEST(TraceIoTest, FileRoundTrip) {
   EXPECT_EQ(loaded.TotalSessions(), original.TotalSessions());
 }
 
+TEST(TraceIoTest, WriteReadWriteYieldsIdenticalBytes) {
+  // Byte-level round trip: serializing a parsed trace reproduces the exact
+  // original file, so traces can be archived, diffed, and digested.
+  PopulationConfig config;
+  config.num_users = 15;
+  config.horizon_s = 2.0 * kDay;
+  config.num_segments = 3;
+  const Population original = GeneratePopulation(config);
+
+  std::ostringstream first;
+  WriteTrace(original, first);
+  const Population loaded = ParseTrace(first.str());
+  std::ostringstream second;
+  WriteTrace(loaded, second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(TraceIoTest, TryParseAcceptsWellFormedTrace) {
+  Population population;
+  std::string error;
+  EXPECT_TRUE(TryParseTrace(
+      "user_id,app_id,start_time,duration_s\n"
+      "0,1,1000,60\n",
+      &population, &error))
+      << error;
+  EXPECT_EQ(population.users.size(), 1u);
+}
+
+TEST(TraceIoTest, TruncatedLineIsACleanError) {
+  // The last row lost its duration field mid-write.
+  Population population;
+  std::string error;
+  EXPECT_FALSE(TryParseTrace(
+      "user_id,app_id,start_time,duration_s\n"
+      "0,1,1000,60\n"
+      "0,2,2000\n",
+      &population, &error));
+  EXPECT_NE(error.find("ragged"), std::string::npos) << error;
+}
+
+TEST(TraceIoTest, BadFieldCountIsACleanError) {
+  Population population;
+  std::string error;
+  EXPECT_FALSE(TryParseTrace(
+      "user_id,app_id,start_time,duration_s\n"
+      "0,1,1000,60,999\n",
+      &population, &error));
+  EXPECT_NE(error.find("ragged"), std::string::npos) << error;
+}
+
+TEST(TraceIoTest, NonNumericFieldIsACleanError) {
+  Population population;
+  std::string error;
+  EXPECT_FALSE(TryParseTrace(
+      "user_id,app_id,start_time,duration_s\n"
+      "0,banana,1000,60\n",
+      &population, &error));
+  EXPECT_NE(error.find("app_id"), std::string::npos) << error;
+}
+
+TEST(TraceIoTest, NegativeDurationIsACleanError) {
+  Population population;
+  std::string error;
+  EXPECT_FALSE(TryParseTrace(
+      "user_id,app_id,start_time,duration_s\n"
+      "0,1,1000,-5\n",
+      &population, &error));
+  EXPECT_NE(error.find("duration"), std::string::npos) << error;
+}
+
+TEST(TraceIoTest, MissingRequiredColumnIsACleanError) {
+  Population population;
+  std::string error;
+  EXPECT_FALSE(TryParseTrace(
+      "user_id,app_id,start_time\n"
+      "0,1,1000\n",
+      &population, &error));
+  EXPECT_NE(error.find("duration_s"), std::string::npos) << error;
+}
+
+TEST(TraceIoTest, MalformedHorizonCommentIsACleanError) {
+  Population population;
+  std::string error;
+  EXPECT_FALSE(TryParseTrace(
+      "# horizon_s=not_a_number\n"
+      "user_id,app_id,start_time,duration_s\n"
+      "0,1,1000,60\n",
+      &population, &error));
+  EXPECT_NE(error.find("horizon"), std::string::npos) << error;
+}
+
+TEST(TraceIoTest, FailedParseLeavesPopulationUntouched) {
+  Population population;
+  population.horizon_s = 123.0;
+  std::string error;
+  EXPECT_FALSE(TryParseTrace("user_id,app_id,start_time,duration_s\n0,1\n", &population,
+                             &error));
+  EXPECT_DOUBLE_EQ(population.horizon_s, 123.0);
+}
+
 TEST(TraceIoDeathTest, MissingFileAborts) {
   EXPECT_DEATH(ReadTraceFile("/nonexistent/path/trace.csv"), "cannot open");
+}
+
+TEST(TraceIoDeathTest, ParseTraceAbortsOnMalformedInput) {
+  // The aborting wrapper keeps the old contract for internal callers.
+  EXPECT_DEATH(ParseTrace("user_id,app_id,start_time,duration_s\n0,1\n"), "ragged");
 }
 
 }  // namespace

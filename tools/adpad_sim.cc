@@ -17,20 +17,81 @@
 //   num_segments, targeted_fraction, selectivity, capped_fraction,
 //   budgeted_fraction, arrivals_per_day     market shape
 //   mode=compare|pad|baseline               what to run
+//   threads=N                               sweep/run concurrency (0 = hw);
+//                                           results identical for any N
+//   sweep_users=a,b,c                       paired run per population size,
+//                                           fanned across `threads`
 //   csv_out=<path>                          append a machine-readable row
 //   label=<text>                            row label for the CSV
 #include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "src/common/csv.h"
 #include "src/common/options.h"
 #include "src/common/stats.h"
 #include "src/common/table.h"
+#include "src/common/thread_pool.h"
 #include "src/core/pad_simulation.h"
+#include "src/core/sweep.h"
 #include "src/trace/trace_io.h"
 
 namespace pad {
 namespace {
+
+std::vector<int> ParseIntList(const std::string& text) {
+  std::vector<int> values;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(',', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string token = text.substr(start, end - start);
+    if (!token.empty()) {
+      values.push_back(std::atoi(token.c_str()));
+    }
+    start = end + 1;
+  }
+  return values;
+}
+
+// A paired comparison per population size, fanned out across the sweep
+// engine. Campaign demand scales with supply (as in the benches) unless the
+// user pinned arrivals_per_day explicitly.
+int RunUserSweep(const PadConfig& base, const std::vector<int>& user_counts,
+                 bool arrivals_pinned, const SweepOptions& sweep) {
+  std::vector<PadConfig> configs;
+  configs.reserve(user_counts.size());
+  for (int users : user_counts) {
+    if (users <= 0) {
+      std::cerr << "sweep_users entries must be positive\n";
+      return 1;
+    }
+    PadConfig point = base;
+    point.population.num_users = users;
+    if (!arrivals_pinned) {
+      point.campaigns.arrivals_per_day = std::max(50.0, 1.5 * users);
+    }
+    configs.push_back(point);
+  }
+  const std::vector<Comparison> results = RunComparisonMany(configs, sweep);
+
+  TextTable table({"users", "ad_energy_savings", "cache_hit", "sla_violation", "rev_loss",
+                   "replication", "revenue_vs_baseline"});
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Comparison& comparison = results[i];
+    table.AddRow({std::to_string(user_counts[i]),
+                  FormatDouble(100.0 * comparison.AdEnergySavings(), 1) + "%",
+                  FormatDouble(100.0 * comparison.pad.service.CacheHitRate(), 1) + "%",
+                  FormatDouble(100.0 * comparison.pad.ledger.SlaViolationRate(), 2) + "%",
+                  FormatDouble(100.0 * comparison.pad.ledger.RevenueLossRate(), 2) + "%",
+                  FormatDouble(comparison.pad.MeanReplication(), 2),
+                  FormatDouble(100.0 * comparison.RevenueRatio(), 1) + "%"});
+  }
+  table.Print(std::cout);
+  return 0;
+}
 
 bool PickPredictor(const std::string& name, PredictorKind* kind) {
   for (PredictorKind candidate : AllPredictorKinds()) {
@@ -100,9 +161,21 @@ int RunTool(const Options& options) {
   const std::string csv_out = options.GetString("csv_out", "");
   const std::string events_out = options.GetString("events_out", "");
   const std::string label = options.GetString("label", "run");
+  const int threads = options.GetInt("threads", 1);
+  const std::string sweep_users = options.GetString("sweep_users", "");
 
   for (const std::string& key : options.UnusedKeys()) {
     std::cerr << "warning: unknown option '" << key << "' ignored\n";
+  }
+
+  const SweepOptions sweep{.threads = threads};
+  if (!sweep_users.empty()) {
+    if (!trace_in.empty()) {
+      std::cerr << "sweep_users generates its own traces; drop trace_in\n";
+      return 1;
+    }
+    return RunUserSweep(config, ParseIntList(sweep_users), options.Has("arrivals_per_day"),
+                        sweep);
   }
 
   // Build inputs, optionally around an external trace.
@@ -132,12 +205,26 @@ int RunTool(const Options& options) {
     std::cerr << "unknown mode '" << mode << "' (compare|pad|baseline)\n";
     return 1;
   }
-  if (run_baseline) {
-    baseline = RunBaseline(config, inputs);
-  }
   EventLog event_log;
-  if (run_pad) {
-    pad = RunPad(config, inputs, events_out.empty() ? nullptr : &event_log);
+  EventLog* pad_log = events_out.empty() ? nullptr : &event_log;
+  if (run_baseline && run_pad && threads != 1) {
+    // The two halves of a comparison share only the read-only inputs, so
+    // they are a 2-job batch for the pool.
+    ThreadPool pool(2);
+    pool.ParallelFor(2, [&](int64_t i) {
+      if (i == 0) {
+        baseline = RunBaseline(config, inputs);
+      } else {
+        pad = RunPad(config, inputs, pad_log);
+      }
+    });
+  } else {
+    if (run_baseline) {
+      baseline = RunBaseline(config, inputs);
+    }
+    if (run_pad) {
+      pad = RunPad(config, inputs, pad_log);
+    }
   }
   if (!events_out.empty() && run_pad) {
     std::ofstream out(events_out);
