@@ -5,9 +5,11 @@
 
 #include <cmath>
 #include <cstdint>
+#include <string>
 
 #include "src/auction/campaign.h"
 #include "src/auction/exchange.h"
+#include "src/core/faults.h"
 #include "src/core/wifi_policy.h"
 #include "src/common/units.h"
 #include "src/overbook/replication_planner.h"
@@ -89,6 +91,11 @@ struct PadConfig {
   double ad_bytes = 3.0 * kKiB;
   double slot_report_bytes = 400.0;
 
+  // Deterministic fault injection on the PAD control plane (see faults.h).
+  // All rates default to zero: a perfect network, byte-identical to builds
+  // that predate the fault layer.
+  FaultConfig faults;
+
   // Days of trace used purely to train predictors before scoring starts.
   int warmup_days = 7;
 
@@ -113,6 +120,15 @@ struct PadConfig {
 // A small default configuration that runs in well under a second; the bench
 // harnesses scale it up.
 PadConfig QuickConfig();
+
+// Validates every knob of the config that can be checked without the
+// generated inputs (rates in range, window divides a day, deadline positive,
+// fault knobs sane, ...). Returns the empty string when valid, otherwise a
+// one-line description naming the offending knob. The runners call this at
+// entry so a nonsensical config fails with a clear message instead of
+// tripping a CHECK deep in the run; tools should call it themselves and
+// surface the message.
+std::string ValidateConfig(const PadConfig& config);
 
 }  // namespace pad
 

@@ -23,6 +23,14 @@ const char* SimEventTypeName(SimEventType type) {
       return "excess_display";
     case SimEventType::kViolation:
       return "violation";
+    case SimEventType::kReportDrop:
+      return "report_drop";
+    case SimEventType::kFetchFailure:
+      return "fetch_failure";
+    case SimEventType::kSyncMiss:
+      return "sync_miss";
+    case SimEventType::kOfflineEpoch:
+      return "offline_epoch";
   }
   return "unknown";
 }
@@ -54,6 +62,11 @@ void EventLog::OnDispatch(double time, int64_t impression_id, int64_t campaign_i
                           int client_id, bool rescue) {
   Record(SimEvent{time, rescue ? SimEventType::kRescue : SimEventType::kDispatch,
                   impression_id, campaign_id, client_id, 0.0});
+}
+
+void EventLog::OnFault(double time, SimEventType type, int client_id) {
+  PAD_CHECK(type >= SimEventType::kReportDrop && type <= SimEventType::kOfflineEpoch);
+  Record(SimEvent{time, type, 0, 0, client_id, 0.0});
 }
 
 int64_t EventLog::CountOf(SimEventType type) const {

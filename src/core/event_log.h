@@ -26,8 +26,13 @@ enum class SimEventType : uint8_t {
   kBilledDisplay = 3,  // First timely display (earns revenue).
   kExcessDisplay = 4,  // Duplicate/late display (wasted slot).
   kViolation = 5,      // Deadline passed undisplayed.
+  // Fault-injection events (core/faults.h); absent in fault-free runs.
+  kReportDrop = 6,     // A client's slot report was lost or delayed.
+  kFetchFailure = 7,   // A bundle download attempt failed at a wakeup.
+  kSyncMiss = 8,       // A client missed a sync epoch (invalidations lost).
+  kOfflineEpoch = 9,   // A client was offline at sale time (no dispatch).
 };
-inline constexpr int kNumSimEventTypes = 6;
+inline constexpr int kNumSimEventTypes = 10;
 
 const char* SimEventTypeName(SimEventType type);
 
@@ -53,6 +58,10 @@ class EventLog : public LedgerObserver {
   // Dispatch-side events (recorded by the PAD server).
   void OnDispatch(double time, int64_t impression_id, int64_t campaign_id, int client_id,
                   bool rescue);
+
+  // Fault events (recorded by clients and the server when fault injection is
+  // enabled). `type` must be one of the kReportDrop..kOfflineEpoch types.
+  void OnFault(double time, SimEventType type, int client_id);
 
   std::span<const SimEvent> events() const { return events_; }
   int64_t CountOf(SimEventType type) const;

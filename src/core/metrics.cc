@@ -2,6 +2,19 @@
 
 namespace pad {
 
+void FaultStats::Merge(const FaultStats& other) {
+  reports_dropped += other.reports_dropped;
+  reports_delayed += other.reports_delayed;
+  stale_windows += other.stale_windows;
+  fetch_failures += other.fetch_failures;
+  fetch_retries += other.fetch_retries;
+  bundles_abandoned += other.bundles_abandoned;
+  syncs_missed += other.syncs_missed;
+  offline_epochs += other.offline_epochs;
+  offline_fetch_misses += other.offline_fetch_misses;
+  offline_violations += other.offline_violations;
+}
+
 double EnergyBreakdown::AdEnergyJ() const {
   return radio.For(TrafficCategory::kAdFetch).total_j() +
          radio.For(TrafficCategory::kAdPrefetch).total_j() +

@@ -50,6 +50,23 @@ struct BaselineResult {
   double scored_days = 0.0;
 };
 
+// What the fault-injection layer (core/faults.h) actually did to a PAD run.
+// All zero when faults are disabled.
+struct FaultStats {
+  int64_t reports_dropped = 0;   // Slot reports lost in transit.
+  int64_t reports_delayed = 0;   // Slot reports that arrived one window late.
+  int64_t stale_windows = 0;     // Client-windows the server ran on a stale view.
+  int64_t fetch_failures = 0;    // Bundle download attempts that failed.
+  int64_t fetch_retries = 0;     // Attempts that were retries of a failed fetch.
+  int64_t bundles_abandoned = 0; // Pending replicas dropped after the retry budget.
+  int64_t syncs_missed = 0;      // Client-epochs whose invalidations were lost.
+  int64_t offline_epochs = 0;    // Client-epochs offline at sale time (no dispatch).
+  int64_t offline_fetch_misses = 0;  // Fallback fetches suppressed while offline.
+  int64_t offline_violations = 0;    // Violations with >= 1 holder offline at expiry.
+
+  void Merge(const FaultStats& other);
+};
+
 // One bucket of the overbooking model's calibration curve: impressions whose
 // planned success probability fell in [lo, hi), and how many were actually
 // billed before their deadline.
@@ -81,6 +98,9 @@ struct PadRunResult {
 
   int64_t impressions_dispatched = 0;  // Replica copies pushed to clients.
   int64_t impressions_sold = 0;
+
+  // Fault-injection accounting (all zero in fault-free runs).
+  FaultStats faults;
   double MeanReplication() const {
     return impressions_sold > 0
                ? static_cast<double>(impressions_dispatched) / static_cast<double>(impressions_sold)

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/core/event_log.h"
 
 namespace pad {
 
@@ -13,14 +14,14 @@ PadClient::PadClient(int client_id, int segment, const PadConfig& config,
       config_(config),
       predictor_(std::move(predictor)),
       radio_(config.radio),
-      wifi_radio_(config.wifi_radio) {
+      wifi_radio_(config.wifi_radio),
+      faults_(config.faults, config.seed) {
   PAD_CHECK(predictor_ != nullptr);
   PAD_CHECK(segment_ >= 0 && segment_ < kMaxSegments);
 }
 
 void PadClient::StartWindow(double now, int abs_window) {
   PAD_CHECK(abs_window >= 0);
-  (void)now;
   if (current_window_ >= 0) {
     predictor_->Observe(current_window_, window_slot_count_);
   }
@@ -37,7 +38,51 @@ void PadClient::StartWindow(double now, int abs_window) {
 
   // Queue the report; a stale pending report that never found a wakeup to
   // ride is superseded (the client was idle, so the server lost nothing).
+  // The bytes are queued regardless of the report's fate below: a report that
+  // drops in transit still cost its uplink energy.
   pending_report_bytes_ = config_.slot_report_bytes;
+
+  if (!faults_.enabled()) {
+    reported_rate_ = predicted_rate_;
+    reported_var_rate_ = predicted_var_rate_;
+    return;
+  }
+
+  // A report the plan delayed last window arrives at this boundary, giving
+  // the server a one-window-old view before this window's report is decided.
+  bool fresh_view = false;
+  if (have_delayed_report_) {
+    reported_rate_ = delayed_rate_;
+    reported_var_rate_ = delayed_var_rate_;
+    have_delayed_report_ = false;
+    fresh_view = true;
+  }
+  switch (faults_.ReportFateFor(client_id_, abs_window)) {
+    case ReportFate::kDelivered:
+      reported_rate_ = predicted_rate_;
+      reported_var_rate_ = predicted_var_rate_;
+      return;
+    case ReportFate::kDelayed:
+      ++fault_stats_.reports_delayed;
+      have_delayed_report_ = true;
+      delayed_rate_ = predicted_rate_;
+      delayed_var_rate_ = predicted_var_rate_;
+      break;
+    case ReportFate::kDropped:
+      ++fault_stats_.reports_dropped;
+      break;
+  }
+  if (event_log_ != nullptr) {
+    event_log_->OnFault(now, SimEventType::kReportDrop, client_id_);
+  }
+  // The server runs this window on a stale view. Unless a delayed report
+  // just refreshed it, decay the visible rate toward the conservative prior
+  // of zero — an unheard client should be sold less, not the same. The
+  // variance is left alone: losing a report does not shrink uncertainty.
+  ++fault_stats_.stale_windows;
+  if (!fresh_view) {
+    reported_rate_ *= config_.faults.stale_decay;
+  }
 }
 
 RadioMachine& PadClient::Route(double t) {
@@ -45,6 +90,9 @@ RadioMachine& PadClient::Route(double t) {
 }
 
 void PadClient::FlushControlTraffic(double now) {
+  if (faults_.enabled() && faults_.OfflineAt(client_id_, now)) {
+    return;  // Ad infrastructure unreachable; bytes stay queued for later.
+  }
   RadioMachine& radio = Route(now);
   if (pending_report_bytes_ > 0.0) {
     radio.Submit(Transfer{.request_time = now,
@@ -70,6 +118,47 @@ void PadClient::ReceiveAds(double now, std::span<const CachedAd> ads) {
 void PadClient::FlushPendingAds(double now) {
   if (pending_ads_.empty()) {
     return;
+  }
+  if (faults_.enabled()) {
+    if (faults_.OfflineAt(client_id_, now)) {
+      return;  // Bundle server unreachable; the bundle waits for a later wakeup.
+    }
+    ++fetch_attempts_;
+    if (fetch_failure_streak_ > 0) {
+      ++fault_stats_.fetch_retries;
+    }
+    if (faults_.FetchFails(client_id_, fetch_attempts_)) {
+      ++fault_stats_.fetch_failures;
+      if (event_log_ != nullptr) {
+        event_log_->OnFault(now, SimEventType::kFetchFailure, client_id_);
+      }
+      // A failed download still moved (most of) the payload over the radio;
+      // charge the live bundle's bytes without filling the cache.
+      double wasted = 0.0;
+      int64_t live = 0;
+      for (const CachedAd& ad : pending_ads_) {
+        if (ad.deadline > now) {
+          wasted += ad.bytes;
+          ++live;
+        }
+      }
+      if (wasted > 0.0) {
+        Route(now).Submit(Transfer{.request_time = now,
+                                   .bytes = wasted,
+                                   .direction = Direction::kDownlink,
+                                   .category = TrafficCategory::kAdPrefetch});
+      }
+      ++fetch_failure_streak_;
+      if (fetch_failure_streak_ > config_.faults.fetch_max_retries) {
+        // Retry budget exhausted: abandon rather than wedge the queue. The
+        // replicas expire server-side and may be rescued or violate.
+        fault_stats_.bundles_abandoned += live;
+        pending_ads_.clear();
+        fetch_failure_streak_ = 0;
+      }
+      return;
+    }
+    fetch_failure_streak_ = 0;
   }
   double bytes = 0.0;
   int fetched = 0;
@@ -127,7 +216,13 @@ void PadClient::OnSlot(double now, Exchange& exchange, ServiceStats& stats) {
   }
 
   // Cache dry (under-prediction or replica starvation): behave exactly like
-  // the baseline — real-time sale plus an on-demand fetch.
+  // the baseline — real-time sale plus an on-demand fetch. While offline the
+  // exchange is unreachable, so the slot goes unfilled (a house ad shows).
+  if (faults_.enabled() && faults_.OfflineAt(client_id_, now)) {
+    ++stats.unfilled;
+    ++fault_stats_.offline_fetch_misses;
+    return;
+  }
   const std::vector<SoldImpression> sold = exchange.SellSlots(now, 1, segment_);
   if (sold.empty()) {
     ++stats.unfilled;  // No demand; a house ad shows, no traffic, no revenue.

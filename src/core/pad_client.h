@@ -29,11 +29,14 @@
 #include "src/auction/exchange.h"
 #include "src/core/ad_cache.h"
 #include "src/core/config.h"
+#include "src/core/faults.h"
 #include "src/core/metrics.h"
 #include "src/prediction/predictor.h"
 #include "src/radio/machine.h"
 
 namespace pad {
+
+class EventLog;
 
 class PadClient {
  public:
@@ -53,6 +56,18 @@ class PadClient {
   double predicted_rate() const { return predicted_rate_; }
   // Predicted variance of the slot count, per second (see ClientSlotEstimate).
   double predicted_var_rate() const { return predicted_var_rate_; }
+
+  // The *server-visible* prediction: what the last report that actually
+  // arrived said, decayed toward zero while the client has gone unheard
+  // (faults.h). Identical to predicted_rate() when faults are disabled.
+  double reported_rate() const { return reported_rate_; }
+  double reported_var_rate() const { return reported_var_rate_; }
+
+  // Fault-injection accounting for this client (all zero without faults).
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
+  // Optional structured log for fault events; not owned, may stay null.
+  void set_event_log(EventLog* log) { event_log_ = log; }
 
   // Ads committed to this client (fetched + pending); the server's
   // inventory-control view of the queue.
@@ -102,11 +117,24 @@ class PadClient {
   RadioMachine radio_;       // Cellular.
   RadioMachine wifi_radio_;  // Idle unless the offload policy is enabled.
   AdCache cache_;
+  FaultPlan faults_;         // Stateless draws; shares seed with the server.
+  FaultStats fault_stats_;
+  EventLog* event_log_ = nullptr;
 
   double predicted_rate_ = 0.0;
   double predicted_var_rate_ = 0.0;
+  double reported_rate_ = 0.0;      // Server-visible view (== predicted when
+  double reported_var_rate_ = 0.0;  // faults are off; see StartWindow).
   int current_window_ = -1;
   int window_slot_count_ = 0;
+
+  // One-window buffer for a report whose upload the fault plan delayed.
+  bool have_delayed_report_ = false;
+  double delayed_rate_ = 0.0;
+  double delayed_var_rate_ = 0.0;
+
+  int64_t fetch_attempts_ = 0;     // Index for the fetch-failure draws.
+  int fetch_failure_streak_ = 0;   // Consecutive failures on this bundle.
 
   std::vector<CachedAd> pending_ads_;        // Assigned but not yet fetched.
   double pending_report_bytes_ = 0.0;        // Uplink.

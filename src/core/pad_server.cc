@@ -30,10 +30,12 @@ PadServer::PadServer(const PadConfig& config, std::vector<std::unique_ptr<PadCli
       planner_(config.planner),
       rng_(seed),
       event_log_(event_log),
+      faults_(config.faults, config.seed),
       num_segments_(config.population.num_segments),
       carry_(clients.size(), 0.0),
       virtual_queue_(clients.size(), 0),
-      candidate_mark_(clients.size(), 0) {
+      candidate_mark_(clients.size(), 0),
+      offline_(clients.size(), 0) {
   PAD_CHECK(!clients_.empty());
   PAD_CHECK(config_.candidate_pool >= 0);
   PAD_CHECK(config_.random_candidates >= 0);
@@ -71,7 +73,23 @@ void PadServer::SyncClients(double now) {
   }
   static const std::unordered_set<int64_t> kEmpty;
   for (size_t c = 0; c < clients_.size(); ++c) {
-    clients_[c]->SyncCache(now, config_.invalidation_sync ? per_client[c] : kEmpty);
+    // A client the fault plan marks unreachable this epoch (missed sync or
+    // offline) still expires its own replicas locally, but the invalidations
+    // meant for it are lost forever — the billed set was already consumed
+    // above, so the stale replicas surface later as excess displays.
+    bool unreachable = false;
+    if (faults_.enabled()) {
+      if (faults_.SyncMissed(clients_[c]->client_id(), epoch_index_)) {
+        unreachable = true;
+        ++fault_stats_.syncs_missed;
+        if (event_log_ != nullptr) {
+          event_log_->OnFault(now, SimEventType::kSyncMiss, clients_[c]->client_id());
+        }
+      }
+      unreachable = unreachable || offline_[c] != 0;
+    }
+    clients_[c]->SyncCache(
+        now, (config_.invalidation_sync && !unreachable) ? per_client[c] : kEmpty);
   }
   // Forget placements whose deadline passed (their replicas self-expire).
   // These are the model's misses: dispatched but never delivered.
@@ -81,6 +99,15 @@ void PadServer::SyncClients(double now) {
           CalibrationBucketOf(it->second.predicted_success))];
       ++bucket.planned;
       bucket.sum_predicted += it->second.predicted_success;
+      if (faults_.enabled()) {
+        for (int holder : it->second.clients) {
+          if (faults_.OfflineAt(clients_[static_cast<size_t>(holder)]->client_id(),
+                                it->second.deadline)) {
+            ++fault_stats_.offline_violations;
+            break;
+          }
+        }
+      }
       it = placements_.erase(it);
     } else {
       ++it;
@@ -91,14 +118,17 @@ void PadServer::SyncClients(double now) {
 double PadServer::CandidateProbability(int client, double horizon) const {
   const ClientSlotEstimate estimate{
       .client_id = client,
-      .slots_per_s = clients_[static_cast<size_t>(client)]->predicted_rate(),
-      .var_per_s = clients_[static_cast<size_t>(client)]->predicted_var_rate(),
+      .slots_per_s = clients_[static_cast<size_t>(client)]->reported_rate(),
+      .var_per_s = clients_[static_cast<size_t>(client)]->reported_var_rate(),
       .queue_ahead = static_cast<int>(virtual_queue_[static_cast<size_t>(client)])};
   return DiscountedDisplayProbability(estimate, horizon, config_.planner.confidence_discount);
 }
 
 bool PadServer::Eligible(int client, const SoldImpression& impression,
                          bool require_capacity) const {
+  if (faults_.enabled() && offline_[static_cast<size_t>(client)] != 0) {
+    return false;  // Unreachable this epoch: no bundle could be handed over.
+  }
   const int segment = clients_[static_cast<size_t>(client)]->segment();
   if (((impression.segment_mask >> static_cast<uint32_t>(segment)) & 1u) == 0) {
     return false;
@@ -224,19 +254,38 @@ void PadServer::RunEpoch(double now) {
   const size_t n = clients_.size();
   epoch_now_ = now;
 
+  // 0. Mark who the fault plan holds offline this epoch, before any step
+  // that reads reachability (sync, capacity, eligibility, rescue, sizing).
+  if (faults_.enabled()) {
+    for (size_t c = 0; c < n; ++c) {
+      offline_[c] = faults_.OfflineAt(clients_[c]->client_id(), now) ? 1 : 0;
+      if (offline_[c] != 0) {
+        ++fault_stats_.offline_epochs;
+        if (event_log_ != nullptr) {
+          event_log_->OnFault(now, SimEventType::kOfflineEpoch, clients_[c]->client_id());
+        }
+      }
+    }
+  }
+
   // 1. Sync caches (expiry + targeted invalidation).
   SyncClients(now);
 
-  // 2. Confident capacity per client, per-segment capacity orderings.
+  // 2. Confident capacity per client, per-segment capacity orderings. Built
+  // on the *reported* rates: the server plans with what it heard, not with
+  // the client-side truth the fault plan may have withheld.
   avail_.assign(n, 0);
   for (size_t c = 0; c < n; ++c) {
     const ClientSlotEstimate estimate{.client_id = static_cast<int>(c),
-                                      .slots_per_s = clients_[c]->predicted_rate(),
-                                      .var_per_s = clients_[c]->predicted_var_rate(),
+                                      .slots_per_s = clients_[c]->reported_rate(),
+                                      .var_per_s = clients_[c]->reported_var_rate(),
                                       .queue_ahead = 0};
     const int capacity = ConfidentCapacity(estimate, epoch_s, config_.capacity_confidence);
     avail_[c] = std::max<int64_t>(0, capacity - clients_[c]->cache_size());
     virtual_queue_[c] = clients_[c]->cache_size();
+    if (faults_.enabled() && offline_[c] != 0) {
+      avail_[c] = 0;  // Nothing can be handed to an unreachable client.
+    }
   }
   for (int s = 0; s < num_segments_; ++s) {
     std::vector<int>& order = segment_order_[static_cast<size_t>(s)];
@@ -264,10 +313,13 @@ void PadServer::RunEpoch(double now) {
       // each holder's chance with the ad halfway down its cache.
       double all_miss = 1.0;
       for (int holder : placement.clients) {
+        if (faults_.enabled() && offline_[static_cast<size_t>(holder)] != 0) {
+          continue;  // Offline holder: count it as certain to miss.
+        }
         const ClientSlotEstimate estimate{
             .client_id = holder,
-            .slots_per_s = clients_[static_cast<size_t>(holder)]->predicted_rate(),
-            .var_per_s = clients_[static_cast<size_t>(holder)]->predicted_var_rate(),
+            .slots_per_s = clients_[static_cast<size_t>(holder)]->reported_rate(),
+            .var_per_s = clients_[static_cast<size_t>(holder)]->reported_var_rate(),
             .queue_ahead =
                 static_cast<int>(clients_[static_cast<size_t>(holder)]->cache_size() / 2)};
         all_miss *= 1.0 - DisplayProbability(estimate, placement.deadline - now);
@@ -333,8 +385,11 @@ void PadServer::RunEpoch(double now) {
     for (int s : segment_sequence) {
       int64_t to_sell = 0;
       for (int client : segment_clients_[static_cast<size_t>(s)]) {
+        if (faults_.enabled() && offline_[static_cast<size_t>(client)] != 0) {
+          continue;  // No sale against unreachable inventory; carry untouched.
+        }
         const double expected =
-            clients_[static_cast<size_t>(client)]->predicted_rate() * epoch_s +
+            clients_[static_cast<size_t>(client)]->reported_rate() * epoch_s +
             carry_[static_cast<size_t>(client)];
         int64_t slots = static_cast<int64_t>(std::floor(expected));
         carry_[static_cast<size_t>(client)] = expected - static_cast<double>(slots);
@@ -423,6 +478,8 @@ void PadServer::RunEpoch(double now) {
 
   // 7. Sweep sales whose deadline passed without a display.
   exchange_.ledger().ExpireDeadlines(now);
+
+  ++epoch_index_;
 }
 
 }  // namespace pad

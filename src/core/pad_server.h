@@ -39,6 +39,7 @@
 #include "src/common/rng.h"
 #include "src/core/config.h"
 #include "src/core/event_log.h"
+#include "src/core/faults.h"
 #include "src/core/pad_client.h"
 
 namespace pad {
@@ -61,6 +62,9 @@ class PadServer {
   int64_t impressions_sold() const { return impressions_sold_; }
   int64_t impressions_dispatched() const { return impressions_dispatched_; }
   int64_t rescues_dispatched() const { return rescues_dispatched_; }
+  // Server-side fault accounting (missed syncs, offline epochs; zero when
+  // faults are disabled). Client-side counters live on each PadClient.
+  const FaultStats& fault_stats() const { return fault_stats_; }
   const std::array<CalibrationBucket, kCalibrationBuckets>& calibration() const {
     return calibration_;
   }
@@ -95,8 +99,13 @@ class PadServer {
   ReplicationPlanner planner_;
   Rng rng_;
   EventLog* event_log_ = nullptr;
+  // Same (config.faults, config.seed) plan as every client, so the server's
+  // view of who is offline agrees with the clients' own draws.
+  FaultPlan faults_;
+  FaultStats fault_stats_;
   int num_segments_ = 1;
   double epoch_now_ = 0.0;
+  int64_t epoch_index_ = 0;  // Index for the sync-miss draws.
 
   // Static: which clients belong to each segment.
   std::vector<std::vector<int>> segment_clients_;
@@ -107,6 +116,7 @@ class PadServer {
   std::vector<int64_t> avail_;
   std::vector<int64_t> virtual_queue_;
   std::vector<uint8_t> candidate_mark_;
+  std::vector<uint8_t> offline_;  // Per-client offline mark for this epoch.
   // Per-segment capacity ordering (by avail desc) and waterfill cursor.
   std::vector<std::vector<int>> segment_order_;
   std::vector<size_t> segment_cursor_;

@@ -32,6 +32,8 @@ Population FilterPopulation(const Population& population, double t0) {
 }
 
 SimInputs GenerateInputs(const PadConfig& config) {
+  const std::string error = ValidateConfig(config);
+  PAD_CHECK_MSG(error.empty(), error.c_str());
   PadConfig cfg = config;  // Local copy to align derived fields.
   AppCatalog catalog = AppCatalog::TopFifteen();
   cfg.population.num_apps = catalog.size();
@@ -47,6 +49,8 @@ SimInputs GenerateInputs(const PadConfig& config) {
 }
 
 BaselineResult RunBaseline(const PadConfig& config, const SimInputs& inputs) {
+  const std::string error = ValidateConfig(config);
+  PAD_CHECK_MSG(error.empty(), error.c_str());
   const double t0 = config.WarmupS();
   const double horizon = inputs.population.horizon_s;
   PAD_CHECK_MSG(horizon > t0, "horizon must extend past the warmup");
@@ -143,6 +147,8 @@ void ScheduleNextFeedEvent(Simulator& sim, ClientFeed& feed, PadClient& client,
 }  // namespace
 
 PadRunResult RunPad(const PadConfig& config, const SimInputs& inputs, EventLog* event_log) {
+  const std::string error = ValidateConfig(config);
+  PAD_CHECK_MSG(error.empty(), error.c_str());
   const double t0 = config.WarmupS();
   const double horizon = inputs.population.horizon_s;
   const double window_s = config.prediction_window_s;
@@ -184,6 +190,7 @@ PadRunResult RunPad(const PadConfig& config, const SimInputs& inputs, EventLog* 
     }
     clients.push_back(std::make_unique<PadClient>(user.user_id, user.segment, config,
                                                   std::move(predictor)));
+    clients.back()->set_event_log(event_log);
   }
 
   ExchangeConfig exchange_config = config.exchange;
@@ -249,7 +256,9 @@ PadRunResult RunPad(const PadConfig& config, const SimInputs& inputs, EventLog* 
     client->FinishRadio(horizon);
     result.energy.radio.Merge(client->radio_report());
     result.service.expired_cache_drops += client->cache().expired_drops();
+    result.faults.Merge(client->fault_stats());
   }
+  result.faults.Merge(server.fault_stats());
   result.ledger = exchange.ledger().totals();
   result.impressions_sold = server.impressions_sold();
   result.impressions_dispatched = server.impressions_dispatched();

@@ -42,6 +42,18 @@ class Digest {
         .Mix(ledger.billed_revenue)
         .Mix(ledger.violated_value);
   }
+  Digest& Mix(const FaultStats& faults) {
+    return Mix(faults.reports_dropped)
+        .Mix(faults.reports_delayed)
+        .Mix(faults.stale_windows)
+        .Mix(faults.fetch_failures)
+        .Mix(faults.fetch_retries)
+        .Mix(faults.bundles_abandoned)
+        .Mix(faults.syncs_missed)
+        .Mix(faults.offline_epochs)
+        .Mix(faults.offline_fetch_misses)
+        .Mix(faults.offline_violations);
+  }
   Digest& Mix(const ServiceStats& service) {
     return Mix(service.slots)
         .Mix(service.served_from_cache)
@@ -125,6 +137,7 @@ uint64_t MetricsDigest(const PadRunResult& result) {
     digest.Mix(bucket.planned).Mix(bucket.delivered).Mix(bucket.sum_predicted);
   }
   digest.Mix(result.impressions_dispatched).Mix(result.impressions_sold);
+  digest.Mix(result.faults);
   return digest.value();
 }
 

@@ -1,0 +1,153 @@
+// Randomized property test for AdCache against a trivially-correct reference
+// model (a plain vector kept in FIFO order).
+//
+// 50 seeds, each driving a few hundred interleaved operations (push, clock
+// advance, pop-for-display, bulk expiry, invalidation). After every step the
+// cache must agree with the model on size and pop order, never serve an ad
+// whose deadline has passed, and invalidation must be idempotent.
+#include "src/core/ad_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace pad {
+namespace {
+
+// The reference semantics, written the obvious way.
+class ModelCache {
+ public:
+  void Push(const CachedAd& ad) { ads_.push_back(ad); }
+
+  std::optional<CachedAd> PopForDisplay(double now) {
+    while (!ads_.empty()) {
+      const CachedAd front = ads_.front();
+      ads_.erase(ads_.begin());
+      if (front.deadline > now) {
+        return front;
+      }
+    }
+    return std::nullopt;
+  }
+
+  int64_t DropExpired(double now) {
+    const size_t before = ads_.size();
+    std::erase_if(ads_, [now](const CachedAd& ad) { return ad.deadline <= now; });
+    return static_cast<int64_t>(before - ads_.size());
+  }
+
+  int64_t Invalidate(const std::unordered_set<int64_t>& ids) {
+    const size_t before = ads_.size();
+    std::erase_if(ads_, [&ids](const CachedAd& ad) { return ids.count(ad.impression_id) != 0; });
+    return static_cast<int64_t>(before - ads_.size());
+  }
+
+  int64_t size() const { return static_cast<int64_t>(ads_.size()); }
+  const std::vector<CachedAd>& ads() const { return ads_; }
+
+ private:
+  std::vector<CachedAd> ads_;
+};
+
+TEST(AdCachePropertyTest, MatchesReferenceModelUnderRandomOperations) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed);
+    AdCache cache;
+    ModelCache model;
+    double now = 0.0;
+    int64_t next_id = 1;
+
+    for (int step = 0; step < 300; ++step) {
+      switch (rng.UniformInt(0, 4)) {
+        case 0: {  // Push a fresh ad; deadlines may be near, far, or already past.
+          const CachedAd ad{next_id++, rng.UniformInt(1, 5),
+                            std::max(0.0, now + rng.Uniform(-10.0, 200.0)), 3072.0};
+          cache.Push(ad);
+          model.Push(ad);
+          break;
+        }
+        case 1: {  // Advance the clock.
+          now += rng.Uniform(0.0, 50.0);
+          break;
+        }
+        case 2: {  // Serve a slot.
+          const std::optional<CachedAd> got = cache.PopForDisplay(now);
+          const std::optional<CachedAd> want = model.PopForDisplay(now);
+          ASSERT_EQ(got.has_value(), want.has_value()) << "seed=" << seed << " step=" << step;
+          if (got.has_value()) {
+            EXPECT_EQ(got->impression_id, want->impression_id)
+                << "seed=" << seed << " step=" << step;
+            // The headline safety property: a served ad is never expired.
+            EXPECT_GT(got->deadline, now) << "seed=" << seed << " step=" << step;
+          }
+          break;
+        }
+        case 3: {  // Bulk expiry.
+          EXPECT_EQ(cache.DropExpired(now), model.DropExpired(now))
+              << "seed=" << seed << " step=" << step;
+          break;
+        }
+        case 4: {  // Invalidate a random subset of ids seen so far.
+          std::unordered_set<int64_t> ids;
+          const int count = static_cast<int>(rng.UniformInt(0, 5));
+          for (int k = 0; k < count; ++k) {
+            ids.insert(rng.UniformInt(1, std::max<int64_t>(1, next_id)));
+          }
+          EXPECT_EQ(cache.Invalidate(ids), model.Invalidate(ids))
+              << "seed=" << seed << " step=" << step;
+          // Idempotence: the same invalidation again removes nothing.
+          EXPECT_EQ(cache.Invalidate(ids), 0) << "seed=" << seed << " step=" << step;
+          break;
+        }
+      }
+      ASSERT_EQ(cache.size(), model.size()) << "seed=" << seed << " step=" << step;
+    }
+
+    // Drain both; remaining order must agree entry by entry.
+    while (true) {
+      const std::optional<CachedAd> got = cache.PopForDisplay(now);
+      const std::optional<CachedAd> want = model.PopForDisplay(now);
+      ASSERT_EQ(got.has_value(), want.has_value()) << "seed=" << seed;
+      if (!got.has_value()) {
+        break;
+      }
+      EXPECT_EQ(got->impression_id, want->impression_id) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(AdCachePropertyTest, CountersAreConsistentWithOperations) {
+  // total_pushed == size + popped + expired_drops + invalidated_drops at all
+  // times: every pushed ad is accounted for exactly once.
+  for (uint64_t seed = 100; seed < 110; ++seed) {
+    Rng rng(seed);
+    AdCache cache;
+    double now = 0.0;
+    int64_t popped = 0;
+    for (int step = 0; step < 400; ++step) {
+      const int op = static_cast<int>(rng.UniformInt(0, 3));
+      if (op == 0) {
+        cache.Push(
+            CachedAd{rng.UniformInt(1, 60), 1, std::max(0.0, now + rng.Uniform(-5.0, 80.0)), 1.0});
+      } else if (op == 1) {
+        now += rng.Uniform(0.0, 30.0);
+        cache.DropExpired(now);
+      } else if (op == 2) {
+        popped += cache.PopForDisplay(now).has_value() ? 1 : 0;
+      } else {
+        cache.Invalidate({rng.UniformInt(1, 60)});
+      }
+      EXPECT_EQ(cache.total_pushed(),
+                cache.size() + popped + cache.expired_drops() + cache.invalidated_drops())
+          << "seed=" << seed << " step=" << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pad

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 namespace pad {
 namespace {
@@ -62,6 +63,143 @@ TEST(ConfigTest, DefaultsAreInternallyConsistent) {
   // The default T divides a day (required by the window machinery).
   const double windows = kDay / config.prediction_window_s;
   EXPECT_NEAR(windows, std::round(windows), 1e-9);
+}
+
+// --- ValidateConfig error paths ------------------------------------------
+//
+// A bad knob must come back as a one-line message naming the knob, not as a
+// CHECK failure from deep inside the run (or, worse, a silently wrong run).
+// Each case asserts both that validation rejects the config and that the
+// message mentions the offending field.
+
+::testing::AssertionResult MessageNames(const std::string& message, const std::string& knob) {
+  if (message.empty()) {
+    return ::testing::AssertionFailure() << "config was accepted, expected a message naming \""
+                                         << knob << "\"";
+  }
+  if (message.find(knob) == std::string::npos) {
+    return ::testing::AssertionFailure()
+           << "message \"" << message << "\" does not name \"" << knob << "\"";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(ValidateConfigTest, DefaultAndQuickStyleConfigsAreValid) {
+  EXPECT_EQ(ValidateConfig(PadConfig{}), "");
+  PadConfig config;
+  config.population.num_users = 40;
+  config.warmup_days = 7;
+  config.faults = FaultConfig::Uniform(0.2);
+  EXPECT_EQ(ValidateConfig(config), "");
+}
+
+TEST(ValidateConfigTest, RejectsNonPositivePredictionWindow) {
+  PadConfig config;
+  config.prediction_window_s = 0.0;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "prediction_window_s"));
+  config.prediction_window_s = -1.0;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "prediction_window_s"));
+}
+
+TEST(ValidateConfigTest, RejectsWindowThatDoesNotDivideADay) {
+  PadConfig config;
+  config.prediction_window_s = 7.0 * kHour;  // 24/7 is not an integer.
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "divide a day"));
+}
+
+TEST(ValidateConfigTest, RejectsNonPositiveDeadline) {
+  PadConfig config;
+  config.deadline_s = 0.0;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "deadline_s"));
+}
+
+TEST(ValidateConfigTest, RejectsVanishinglySmallDeadline) {
+  // A deadline orders of magnitude below the window would push the epoch
+  // derivation into degenerate territory; the message must say so rather
+  // than letting EpochS() misbehave downstream.
+  PadConfig config;
+  config.prediction_window_s = kDay;
+  config.deadline_s = 1e-3;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "deadline_s"));
+}
+
+TEST(ValidateConfigTest, RejectsNegativeWarmup) {
+  PadConfig config;
+  config.warmup_days = -1;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "warmup_days"));
+}
+
+TEST(ValidateConfigTest, RejectsEmptyPopulationAndBadSegments) {
+  PadConfig config;
+  config.population.num_users = 0;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "num_users"));
+  config = PadConfig{};
+  config.population.num_segments = 0;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "num_segments"));
+  config.population.num_segments = kMaxSegments + 1;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "num_segments"));
+}
+
+TEST(ValidateConfigTest, RejectsOutOfRangePolicyKnobs) {
+  PadConfig config;
+  config.capacity_confidence = 1.0;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "capacity_confidence"));
+  config = PadConfig{};
+  config.planner.sla_target = 0.0;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "sla_target"));
+  config = PadConfig{};
+  config.planner.max_replicas = 0;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "max_replicas"));
+  config = PadConfig{};
+  config.rescue_threshold = 1.5;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "rescue_threshold"));
+}
+
+TEST(ValidateConfigTest, RejectsBadPayloadSizes) {
+  PadConfig config;
+  config.ad_bytes = 0.0;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "ad_bytes"));
+  config = PadConfig{};
+  config.slot_report_bytes = -1.0;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "slot_report_bytes"));
+}
+
+TEST(ValidateConfigTest, RejectsNegativeAndOverUnitFaultRates) {
+  PadConfig config;
+  config.faults.report_drop_rate = -0.1;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "report_drop_rate"));
+  config = PadConfig{};
+  config.faults.fetch_failure_rate = 1.5;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "fetch_failure_rate"));
+  config = PadConfig{};
+  config.faults.sync_miss_rate = -1e-6;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "sync_miss_rate"));
+  config = PadConfig{};
+  config.faults.offline_rate = 2.0;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "offline_rate"));
+}
+
+TEST(ValidateConfigTest, RejectsReportFatesSummingPastOne) {
+  PadConfig config;
+  config.faults.report_drop_rate = 0.7;
+  config.faults.report_delay_rate = 0.7;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "report_drop_rate + "));
+  // Exactly one is fine: the bands partition the unit interval.
+  config.faults.report_delay_rate = 0.3;
+  EXPECT_EQ(ValidateConfig(config), "");
+}
+
+TEST(ValidateConfigTest, RejectsBadFaultShapeKnobs) {
+  PadConfig config;
+  config.faults.fetch_max_retries = -1;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "fetch_max_retries"));
+  config = PadConfig{};
+  config.faults.offline_rate = 0.1;
+  config.faults.offline_window_s = 0.0;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "offline_window_s"));
+  config = PadConfig{};
+  config.faults.stale_decay = 1.5;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "stale_decay"));
 }
 
 }  // namespace

@@ -1,0 +1,181 @@
+// Unit tests for the deterministic fault plan (core/faults.h).
+//
+// The properties asserted here are load-bearing for the rest of the suite:
+// statelessness makes fault-enabled runs thread-count invariant, and the
+// nesting of fault sets across rates is what gives the degradation sweep
+// (integration/fault_sweep_test.cc) its monotone structure.
+#include "src/core/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pad {
+namespace {
+
+FaultConfig AllChannels(double rate) {
+  FaultConfig config = FaultConfig::Uniform(rate);
+  config.report_delay_rate = rate / 2.0;
+  return config;
+}
+
+TEST(FaultPlanTest, DefaultConstructedPlanIsDisabledAndBenign) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  for (int client = 0; client < 4; ++client) {
+    for (int64_t index = 0; index < 50; ++index) {
+      EXPECT_EQ(plan.ReportFateFor(client, index), ReportFate::kDelivered);
+      EXPECT_FALSE(plan.FetchFails(client, index));
+      EXPECT_FALSE(plan.SyncMissed(client, index));
+      EXPECT_FALSE(plan.OfflineAt(client, static_cast<double>(index) * 100.0));
+    }
+  }
+}
+
+TEST(FaultPlanTest, ZeroRatesDisableThePlan) {
+  EXPECT_FALSE(FaultConfig{}.AnyEnabled());
+  EXPECT_FALSE(FaultPlan(FaultConfig{}, 7).enabled());
+  EXPECT_TRUE(FaultPlan(FaultConfig::Uniform(0.01), 7).enabled());
+}
+
+TEST(FaultPlanTest, DecisionsAreAPureFunctionOfConfigAndSeed) {
+  const FaultConfig config = AllChannels(0.2);
+  const FaultPlan first(config, 99);
+  const FaultPlan second(config, 99);
+  for (int client = 0; client < 8; ++client) {
+    for (int64_t index = 0; index < 200; ++index) {
+      EXPECT_EQ(first.ReportFateFor(client, index), second.ReportFateFor(client, index));
+      EXPECT_EQ(first.FetchFails(client, index), second.FetchFails(client, index));
+      EXPECT_EQ(first.SyncMissed(client, index), second.SyncMissed(client, index));
+      const double t = static_cast<double>(index) * 1800.0;
+      EXPECT_EQ(first.OfflineAt(client, t), second.OfflineAt(client, t));
+    }
+  }
+}
+
+TEST(FaultPlanTest, DifferentSeedsFaultDifferentEvents) {
+  const FaultConfig config = FaultConfig::Uniform(0.2);
+  const FaultPlan a(config, 1);
+  const FaultPlan b(config, 2);
+  int differing = 0;
+  for (int client = 0; client < 8; ++client) {
+    for (int64_t index = 0; index < 200; ++index) {
+      differing += a.FetchFails(client, index) != b.FetchFails(client, index);
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+// The monotonicity keystone: because every channel compares one fixed draw
+// against its rate, the set of faulted events at a lower rate is a subset of
+// the set at any higher rate (common-random-number coupling).
+TEST(FaultPlanTest, FaultSetsNestAcrossRates) {
+  const std::vector<double> rates = {0.01, 0.05, 0.1, 0.2, 0.5};
+  for (size_t lo = 0; lo + 1 < rates.size(); ++lo) {
+    const FaultPlan sparse(FaultConfig::Uniform(rates[lo]), 1234);
+    const FaultPlan dense(FaultConfig::Uniform(rates[lo + 1]), 1234);
+    for (int client = 0; client < 8; ++client) {
+      for (int64_t index = 0; index < 400; ++index) {
+        if (sparse.FetchFails(client, index)) {
+          EXPECT_TRUE(dense.FetchFails(client, index));
+        }
+        if (sparse.SyncMissed(client, index)) {
+          EXPECT_TRUE(dense.SyncMissed(client, index));
+        }
+        if (sparse.ReportFateFor(client, index) == ReportFate::kDropped) {
+          EXPECT_EQ(dense.ReportFateFor(client, index), ReportFate::kDropped);
+        }
+        const double t = static_cast<double>(index) * 3600.0;
+        if (sparse.OfflineAt(client, t)) {
+          EXPECT_TRUE(dense.OfflineAt(client, t));
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultPlanTest, RateOneFaultsEverything) {
+  FaultConfig config = FaultConfig::Uniform(1.0);
+  const FaultPlan plan(config, 5);
+  for (int client = 0; client < 4; ++client) {
+    for (int64_t index = 0; index < 100; ++index) {
+      EXPECT_EQ(plan.ReportFateFor(client, index), ReportFate::kDropped);
+      EXPECT_TRUE(plan.FetchFails(client, index));
+      EXPECT_TRUE(plan.SyncMissed(client, index));
+      EXPECT_TRUE(plan.OfflineAt(client, static_cast<double>(index)));
+    }
+  }
+}
+
+TEST(FaultPlanTest, ReportDelayOccupiesItsOwnBandAboveDrop) {
+  FaultConfig config;
+  config.report_drop_rate = 0.1;
+  config.report_delay_rate = 0.9;  // Everything not dropped is delayed.
+  const FaultPlan plan(config, 21);
+  int dropped = 0;
+  int delayed = 0;
+  constexpr int kTrials = 2000;
+  for (int64_t index = 0; index < kTrials; ++index) {
+    switch (plan.ReportFateFor(0, index)) {
+      case ReportFate::kDropped:
+        ++dropped;
+        break;
+      case ReportFate::kDelayed:
+        ++delayed;
+        break;
+      case ReportFate::kDelivered:
+        ADD_FAILURE() << "drop + delay = 1: no report may be delivered";
+        break;
+    }
+  }
+  EXPECT_EQ(dropped + delayed, kTrials);
+  // The drop band is u < 0.1; allow generous sampling slack around 10%.
+  EXPECT_GT(dropped, kTrials / 20);
+  EXPECT_LT(dropped, kTrials / 5);
+}
+
+TEST(FaultPlanTest, OfflineIsConstantWithinAWindow) {
+  FaultConfig config;
+  config.offline_rate = 0.3;
+  config.offline_window_s = 3600.0;
+  const FaultPlan plan(config, 77);
+  for (int client = 0; client < 4; ++client) {
+    for (int window = 0; window < 100; ++window) {
+      const double base = static_cast<double>(window) * 3600.0;
+      const bool at_start = plan.OfflineAt(client, base);
+      EXPECT_EQ(plan.OfflineAt(client, base + 1.0), at_start);
+      EXPECT_EQ(plan.OfflineAt(client, base + 1800.0), at_start);
+      EXPECT_EQ(plan.OfflineAt(client, base + 3599.0), at_start);
+    }
+  }
+}
+
+TEST(FaultPlanTest, EmpiricalRateTracksConfiguredRate) {
+  const double rate = 0.2;
+  const FaultPlan plan(FaultConfig::Uniform(rate), 31337);
+  int failures = 0;
+  constexpr int kTrials = 20000;
+  for (int client = 0; client < 20; ++client) {
+    for (int64_t index = 0; index < kTrials / 20; ++index) {
+      failures += plan.FetchFails(client, index);
+    }
+  }
+  const double empirical = static_cast<double>(failures) / kTrials;
+  EXPECT_NEAR(empirical, rate, 0.02);
+}
+
+TEST(FaultPlanTest, ChannelsDrawIndependently) {
+  // A fetch failure at (client, index) must not force a sync miss at the
+  // same coordinates: each channel has its own draw stream.
+  const FaultPlan plan(FaultConfig::Uniform(0.5), 11);
+  int agree = 0;
+  constexpr int kTrials = 1000;
+  for (int64_t index = 0; index < kTrials; ++index) {
+    agree += plan.FetchFails(3, index) == plan.SyncMissed(3, index);
+  }
+  EXPECT_GT(agree, kTrials / 4);
+  EXPECT_LT(agree, 3 * kTrials / 4);
+}
+
+}  // namespace
+}  // namespace pad

@@ -201,5 +201,142 @@ TEST(PadClientTest, FinishRadioClosesTail) {
               config.radio.IsolatedTransferEnergy(config.ad_bytes, false), 1e-9);
 }
 
+// --- Fault-injection paths (core/faults.h) --------------------------------
+
+TEST(PadClientTest, FaultFreeReportedRateEqualsPredicted) {
+  const PadConfig config = TestConfig();
+  PadClient client(0, /*segment=*/0, config,
+                   std::make_unique<OraclePredictor>(std::vector<int>{6, 12}));
+  client.StartWindow(0.0, 0);
+  EXPECT_DOUBLE_EQ(client.reported_rate(), client.predicted_rate());
+  client.StartWindow(kHour, 1);
+  EXPECT_DOUBLE_EQ(client.reported_rate(), client.predicted_rate());
+  EXPECT_DOUBLE_EQ(client.reported_var_rate(), client.predicted_var_rate());
+}
+
+TEST(PadClientTest, AlwaysDroppedReportsLeaveServerViewAtConservativePrior) {
+  PadConfig config = TestConfig();
+  config.faults.report_drop_rate = 1.0;
+  PadClient client(0, /*segment=*/0, config,
+                   std::make_unique<OraclePredictor>(std::vector<int>{6, 12}));
+  client.StartWindow(0.0, 0);
+  client.StartWindow(kHour, 1);
+  // The client predicts plenty of slots, but the server never hears it: the
+  // visible rate decays to (stays at) the zero prior, so it is sold nothing.
+  EXPECT_GT(client.predicted_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(client.reported_rate(), 0.0);
+  EXPECT_EQ(client.fault_stats().reports_dropped, 2);
+  EXPECT_EQ(client.fault_stats().stale_windows, 2);
+}
+
+TEST(PadClientTest, DelayedReportArrivesOneWindowLate) {
+  PadConfig config = TestConfig();
+  config.faults.report_delay_rate = 1.0;
+  PadClient client(0, /*segment=*/0, config,
+                   std::make_unique<OraclePredictor>(std::vector<int>{6, 12}));
+  client.StartWindow(0.0, 0);
+  EXPECT_DOUBLE_EQ(client.reported_rate(), 0.0);  // Window-0 report in flight.
+  client.StartWindow(kHour, 1);
+  // The delayed window-0 report (6 slots/h) lands at the boundary; the
+  // window-1 report (12 slots/h) is itself delayed.
+  EXPECT_DOUBLE_EQ(client.reported_rate(), 6.0 / kHour);
+  EXPECT_DOUBLE_EQ(client.predicted_rate(), 12.0 / kHour);
+  EXPECT_EQ(client.fault_stats().reports_delayed, 2);
+}
+
+TEST(PadClientTest, FailedBundleFetchChargesBytesWithoutFillingCache) {
+  PadConfig config = TestConfig();
+  config.faults.fetch_failure_rate = 1.0;
+  config.faults.fetch_max_retries = 10;
+  PadClient client(0, /*segment=*/0, config, std::make_unique<LastValuePredictor>());
+  Exchange exchange = RichExchange();
+  ServiceStats stats;
+
+  client.ReceiveAds(0.0, std::vector<CachedAd>{Ad(500, kHour)});
+  client.OnSlot(10.0, exchange, stats);
+  // The download attempt failed: its bytes were spent on the radio, the
+  // cache stayed dry, and the slot fell back to an on-demand sale.
+  EXPECT_EQ(client.fault_stats().fetch_failures, 1);
+  EXPECT_EQ(stats.served_from_cache, 0);
+  EXPECT_EQ(stats.fallback_fetches, 1);
+  const EnergyReport& report = client.radio_report();
+  EXPECT_EQ(report.For(TrafficCategory::kAdPrefetch).transfers, 1);
+  EXPECT_DOUBLE_EQ(report.For(TrafficCategory::kAdPrefetch).bytes, 3.0 * kKiB);
+  EXPECT_EQ(report.For(TrafficCategory::kAdFetch).transfers, 1);
+}
+
+TEST(PadClientTest, RetryBudgetAbandonsTheBundle) {
+  PadConfig config = TestConfig();
+  config.faults.fetch_failure_rate = 1.0;
+  config.faults.fetch_max_retries = 2;
+  PadClient client(0, /*segment=*/0, config, std::make_unique<LastValuePredictor>());
+
+  client.ReceiveAds(0.0, std::vector<CachedAd>{Ad(500, kHour)});
+  const Transfer content{.request_time = 10.0,
+                         .bytes = 1000.0,
+                         .direction = Direction::kDownlink,
+                         .category = TrafficCategory::kAppContent};
+  // Three wakeups: initial attempt plus the two budgeted retries, then the
+  // bundle is dropped rather than wedging the queue forever.
+  for (double t : {10.0, 20.0, 30.0, 40.0}) {
+    Transfer transfer = content;
+    transfer.request_time = t;
+    client.OnContentTransfer(transfer);
+  }
+  EXPECT_EQ(client.fault_stats().fetch_failures, 3);
+  EXPECT_EQ(client.fault_stats().fetch_retries, 2);
+  EXPECT_EQ(client.fault_stats().bundles_abandoned, 1);
+  EXPECT_EQ(client.cache_size(), 0);
+  // The fourth wakeup had nothing to attempt: exactly three failed prefetch
+  // transfers hit the radio.
+  EXPECT_EQ(client.radio_report().For(TrafficCategory::kAdPrefetch).transfers, 3);
+}
+
+TEST(PadClientTest, OfflineClientServesCacheButCannotFetch) {
+  PadConfig config = TestConfig();
+  config.faults.offline_rate = 0.5;
+  config.faults.offline_window_s = 600.0;
+  config.seed = 99;
+  // Probe the plan (same draws as the client's own) for an online window
+  // followed by a later offline window.
+  const FaultPlan plan(config.faults, config.seed);
+  int online_w = -1;
+  int offline_w = -1;
+  for (int w = 0; w < 64; ++w) {
+    const double t = (static_cast<double>(w) + 0.5) * 600.0;
+    if (!plan.OfflineAt(0, t) && online_w < 0) {
+      online_w = w;
+    } else if (plan.OfflineAt(0, t) && online_w >= 0) {
+      offline_w = w;
+      break;
+    }
+  }
+  ASSERT_GE(online_w, 0);
+  ASSERT_GT(offline_w, online_w);
+  const double t_online = (static_cast<double>(online_w) + 0.5) * 600.0;
+  const double t_offline = (static_cast<double>(offline_w) + 0.5) * 600.0;
+
+  PadClient client(0, /*segment=*/0, config, std::make_unique<LastValuePredictor>());
+  Exchange exchange = RichExchange();
+  ServiceStats stats;
+
+  // While online: the bundle downloads and one ad displays.
+  const double deadline = t_offline + kHour;
+  client.ReceiveAds(t_online, std::vector<CachedAd>{Ad(1, deadline), Ad(2, deadline)});
+  client.OnSlot(t_online, exchange, stats);
+  EXPECT_EQ(stats.served_from_cache, 1);
+
+  // While offline: the remaining cached ad still serves (purely local)...
+  client.OnSlot(t_offline, exchange, stats);
+  EXPECT_EQ(stats.served_from_cache, 2);
+  // ...but with the cache dry, the fallback fetch is unreachable: the slot
+  // goes unfilled instead of selling in real time.
+  const int64_t sold_before = exchange.ledger().totals().sold;
+  client.OnSlot(t_offline + 1.0, exchange, stats);
+  EXPECT_EQ(stats.unfilled, 1);
+  EXPECT_EQ(client.fault_stats().offline_fetch_misses, 1);
+  EXPECT_EQ(exchange.ledger().totals().sold, sold_before);
+}
+
 }  // namespace
 }  // namespace pad

@@ -1,0 +1,115 @@
+// Degradation sweep: fixed seed, rising fault rate, monotone outcomes.
+//
+// The fault plan's draws are coupled across rates (common random numbers:
+// an event faulted at rate r is faulted at every higher rate — see
+// core/faults.h), so comparing runs across rates measures the marginal
+// faults, not reseeded noise. Three families of claims:
+//
+//   * accounting scales with the knob: fault counters whose draw indices do
+//     not depend on simulation behaviour (report windows, sync epochs,
+//     offline windows) are non-decreasing step by step;
+//   * faults never help: relative to the fault-free run, violations never
+//     fall and ad-energy savings never rise, at any rate;
+//   * degradation is real: at the top rate the damage is strict.
+//
+// Adjacent-step strictness for violations/savings is deliberately NOT
+// asserted: a 1% rate step moves those metrics by less than the simulation's
+// natural sensitivity to replanning, so only the fault-free anchor and the
+// endpoints are stable claims.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/core/sweep.h"
+
+namespace pad {
+namespace {
+
+const std::vector<double> kRates = {0.0, 0.01, 0.02, 0.05, 0.1, 0.2};
+
+PadConfig SweepBase() {
+  PadConfig config = QuickConfig();  // 40 users, 10 days, 1 warmup week.
+  config.seed = 1234;
+  config.population.seed = 42;
+  config.campaigns.seed = 7;
+  return config;
+}
+
+TEST(FaultSweepTest, RateZeroIsByteIdenticalToFaultFreeRun) {
+  const PadConfig base = SweepBase();
+  const SimInputs inputs = GenerateInputs(base);
+  PadConfig zero = base;
+  zero.faults = FaultConfig::Uniform(0.0);
+  // A rate-0 fault plan must not merely be close to the fault-free run: it
+  // must be the same run, bit for bit.
+  EXPECT_EQ(MetricsDigest(RunPad(zero, inputs)), MetricsDigest(RunPad(base, inputs)));
+}
+
+TEST(FaultSweepTest, UniformFaultSweepDegradesMonotonically) {
+  const PadConfig base = SweepBase();
+  const SimInputs inputs = GenerateInputs(base);
+
+  std::vector<PadRunResult> runs;
+  for (double rate : kRates) {
+    PadConfig config = base;
+    config.faults = FaultConfig::Uniform(rate);
+    config.faults.report_delay_rate = rate / 2.0;
+    runs.push_back(RunPad(config, inputs));
+  }
+
+  for (size_t i = 1; i < runs.size(); ++i) {
+    // Counters with behaviour-independent draw indices: exactly nested, so
+    // each step can only add faults.
+    EXPECT_GE(runs[i].faults.reports_dropped, runs[i - 1].faults.reports_dropped) << i;
+    EXPECT_GE(runs[i].faults.reports_delayed, runs[i - 1].faults.reports_delayed) << i;
+    EXPECT_GE(runs[i].faults.syncs_missed, runs[i - 1].faults.syncs_missed) << i;
+    EXPECT_GE(runs[i].faults.offline_epochs, runs[i - 1].faults.offline_epochs) << i;
+    // Degraded reporting makes the server sell conservatively: volume only
+    // shrinks as the network gets worse.
+    EXPECT_LE(runs[i].ledger.sold, runs[i - 1].ledger.sold) << i;
+    EXPECT_LE(runs[i].ledger.billed, runs[i - 1].ledger.billed) << i;
+  }
+  // Strictness at the endpoint, so the chain is not vacuously all-equal.
+  EXPECT_GT(runs.back().faults.reports_dropped, 0);
+  EXPECT_GT(runs.back().faults.offline_epochs, 0);
+  EXPECT_LT(runs.back().ledger.billed, runs.front().ledger.billed);
+  EXPECT_LT(runs.back().ledger.billed_revenue, runs.front().ledger.billed_revenue);
+}
+
+TEST(FaultSweepTest, EnergyWastingFaultsNeverHelpAndHurtAtScale) {
+  // Fetch failures and sync misses waste radio energy and lose invalidations
+  // without suppressing sales, so they isolate the quality-degradation axis:
+  // SLA violations can only accumulate and ad-energy savings can only erode
+  // relative to the fault-free run.
+  const PadConfig base = SweepBase();
+  const SimInputs inputs = GenerateInputs(base);
+  const BaselineResult baseline = RunBaseline(base, inputs);
+  const double baseline_j = baseline.energy.AdEnergyJ();
+  ASSERT_GT(baseline_j, 0.0);
+
+  std::vector<PadRunResult> runs;
+  std::vector<double> savings;
+  for (double rate : kRates) {
+    PadConfig config = base;
+    config.faults.fetch_failure_rate = rate;
+    config.faults.sync_miss_rate = rate;
+    runs.push_back(RunPad(config, inputs));
+    savings.push_back(1.0 - runs.back().energy.AdEnergyJ() / baseline_j);
+  }
+
+  for (size_t i = 1; i < runs.size(); ++i) {
+    // Never better than the perfect network, at any rate.
+    EXPECT_GE(runs[i].ledger.violated, runs[0].ledger.violated) << i;
+    EXPECT_LE(savings[i], savings[0]) << i;
+    // Sync-miss draws are indexed by (client, epoch): exactly nested.
+    EXPECT_GE(runs[i].faults.syncs_missed, runs[i - 1].faults.syncs_missed) << i;
+  }
+  // At the top rate the degradation is strict on both axes.
+  EXPECT_GT(runs.back().ledger.violated, runs.front().ledger.violated);
+  EXPECT_LT(savings.back(), savings.front());
+  EXPECT_GT(runs.back().faults.fetch_failures, 0);
+}
+
+}  // namespace
+}  // namespace pad

@@ -75,7 +75,57 @@ TEST(GoldenDeterminismTest, FixedSeedRunMatchesGoldenValues) {
 
   // One digest over every field of both runs, so drift anywhere fails even
   // if no spot-checked metric moved.
-  EXPECT_EQ(ComparisonDigest(comparison), 0xbdba394e3827526dull);
+  EXPECT_EQ(ComparisonDigest(comparison), 0xa827a5589bc237fbull);
+
+  // Fault-free runs must report zero fault activity: the digest above covers
+  // the FaultStats fields, and these spot-checks make the contract explicit.
+  EXPECT_EQ(pad.faults.reports_dropped, 0);
+  EXPECT_EQ(pad.faults.fetch_failures, 0);
+  EXPECT_EQ(pad.faults.syncs_missed, 0);
+  EXPECT_EQ(pad.faults.offline_epochs, 0);
+#endif
+}
+
+// Same fixed seed with the fault layer switched on. Pins the exact fault
+// accounting alongside the headline metrics, so both the fault draws and the
+// degradation semantics are under golden control.
+TEST(GoldenDeterminismTest, FaultInjectedRunMatchesGoldenValues) {
+  PadConfig config = GoldenConfig();
+  config.faults = FaultConfig::Uniform(0.05);
+  config.faults.report_delay_rate = 0.05;
+  const SimInputs inputs = GenerateInputs(config);
+  const PadRunResult pad = RunPad(config, inputs);
+
+#ifdef ADPAD_REGENERATE_GOLDEN
+  std::printf("fault pad.ledger.billed = %lld\n", (long long)pad.ledger.billed);
+  std::printf("fault pad.ledger.violated = %lld\n", (long long)pad.ledger.violated);
+  std::printf("fault pad.service.served_from_cache = %lld\n",
+              (long long)pad.service.served_from_cache);
+  std::printf("fault pad.faults.reports_dropped = %lld\n",
+              (long long)pad.faults.reports_dropped);
+  std::printf("fault pad.faults.reports_delayed = %lld\n",
+              (long long)pad.faults.reports_delayed);
+  std::printf("fault pad.faults.fetch_failures = %lld\n",
+              (long long)pad.faults.fetch_failures);
+  std::printf("fault pad.faults.bundles_abandoned = %lld\n",
+              (long long)pad.faults.bundles_abandoned);
+  std::printf("fault pad.faults.syncs_missed = %lld\n", (long long)pad.faults.syncs_missed);
+  std::printf("fault pad.faults.offline_epochs = %lld\n",
+              (long long)pad.faults.offline_epochs);
+  std::printf("fault MetricsDigest = 0x%016llxull\n",
+              (unsigned long long)MetricsDigest(pad));
+  GTEST_SKIP() << "regeneration mode: constants printed above";
+#else
+  EXPECT_EQ(pad.ledger.billed, 18112);
+  EXPECT_EQ(pad.ledger.violated, 814);
+  EXPECT_EQ(pad.service.served_from_cache, 11380);
+  EXPECT_EQ(pad.faults.reports_dropped, 157);
+  EXPECT_EQ(pad.faults.reports_delayed, 132);
+  EXPECT_EQ(pad.faults.fetch_failures, 30);
+  EXPECT_EQ(pad.faults.bundles_abandoned, 0);
+  EXPECT_EQ(pad.faults.syncs_missed, 118);
+  EXPECT_EQ(pad.faults.offline_epochs, 161);
+  EXPECT_EQ(MetricsDigest(pad), 0xd888951701f704f4ull);
 #endif
 }
 

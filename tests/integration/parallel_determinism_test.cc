@@ -19,8 +19,8 @@ namespace pad {
 namespace {
 
 // Eight intentionally heterogeneous jobs: different population sizes,
-// deadlines, predictors, planner modes, and seeds, so the schedules at
-// different thread counts interleave dissimilar work.
+// deadlines, predictors, planner modes, fault plans, and seeds, so the
+// schedules at different thread counts interleave dissimilar work.
 std::vector<PadConfig> MixedSweep() {
   std::vector<PadConfig> configs;
   for (int i = 0; i < 8; ++i) {
@@ -31,6 +31,9 @@ std::vector<PadConfig> MixedSweep() {
     config.seed = 42 + static_cast<uint64_t>(i);
     config.deadline_s = (i % 2 == 0 ? 3.0 : 1.5) * kHour;
     config.predictor = (i % 3 == 0) ? PredictorKind::kEwma : PredictorKind::kTimeOfDay;
+    if (i == 3) {
+      config.faults = FaultConfig::Uniform(0.05);  // One uniformly faulty job.
+    }
     if (i == 5) {
       config.overbooking_factor = 1.5;  // One fixed-factor planner job.
     }
@@ -38,6 +41,18 @@ std::vector<PadConfig> MixedSweep() {
       config.campaigns.targeted_fraction = 0.5;  // One targeted-market job.
       config.population.num_segments = 2;
       config.campaigns.num_segments = 2;
+    }
+    if (i == 7) {
+      // One heavily-faulty mixed job: every fault channel active at once, so
+      // the determinism contract is exercised with fault draws on the report,
+      // fetch, sync, and offline paths simultaneously.
+      config.faults.report_drop_rate = 0.15;
+      config.faults.report_delay_rate = 0.10;
+      config.faults.fetch_failure_rate = 0.20;
+      config.faults.fetch_max_retries = 1;
+      config.faults.sync_miss_rate = 0.10;
+      config.faults.offline_rate = 0.10;
+      config.faults.offline_window_s = 2.0 * kHour;
     }
     configs.push_back(config);
   }
@@ -77,8 +92,20 @@ TEST_F(ParallelDeterminismTest, ComparisonSweepIsByteIdenticalAcrossThreadCounts
       EXPECT_EQ(candidate[i].baseline.ledger.billed_revenue,
                 reference[i].baseline.ledger.billed_revenue);
       EXPECT_EQ(candidate[i].pad.energy.AdEnergyJ(), reference[i].pad.energy.AdEnergyJ());
+      // Fault draws are part of the contract too: the faulty jobs must fault
+      // on exactly the same events whatever the thread count.
+      EXPECT_EQ(candidate[i].pad.faults.reports_dropped,
+                reference[i].pad.faults.reports_dropped);
+      EXPECT_EQ(candidate[i].pad.faults.fetch_failures,
+                reference[i].pad.faults.fetch_failures);
+      EXPECT_EQ(candidate[i].pad.faults.offline_epochs,
+                reference[i].pad.faults.offline_epochs);
     }
   }
+  // The faulty jobs must actually have faulted, or the assertions above
+  // prove nothing about the fault path.
+  EXPECT_GT(reference[3].pad.faults.reports_dropped, 0);
+  EXPECT_GT(reference[7].pad.faults.fetch_failures, 0);
 }
 
 TEST_F(ParallelDeterminismTest, EventLogsAreByteIdenticalAcrossThreadCounts) {

@@ -16,6 +16,12 @@
 //   capacity_confidence, sla_target, max_replicas, overbooking_factor
 //   num_segments, targeted_fraction, selectivity, capped_fraction,
 //   budgeted_fraction, arrivals_per_day     market shape
+//   fault_rate=r                            uniform fault injection: sets the
+//                                           drop/fetch/sync/offline rates to r
+//   fault_report_drop_rate, fault_report_delay_rate, fault_fetch_failure_rate,
+//   fault_fetch_max_retries, fault_sync_miss_rate, fault_offline_rate,
+//   fault_offline_window_h, fault_stale_decay   per-channel fault knobs
+//                                           (applied on top of fault_rate)
 //   mode=compare|pad|baseline               what to run
 //   threads=N                               sweep/run concurrency (0 = hw);
 //                                           results identical for any N
@@ -129,6 +135,26 @@ int RunTool(const Options& options) {
   config.campaigns.budgeted_fraction = options.GetDouble("budgeted_fraction", 0.0);
   config.wifi.enabled = options.GetBool("wifi_offload", false);
 
+  const double fault_rate = options.GetDouble("fault_rate", -1.0);
+  if (fault_rate >= 0.0) {
+    config.faults = FaultConfig::Uniform(fault_rate);
+  }
+  config.faults.report_drop_rate =
+      options.GetDouble("fault_report_drop_rate", config.faults.report_drop_rate);
+  config.faults.report_delay_rate =
+      options.GetDouble("fault_report_delay_rate", config.faults.report_delay_rate);
+  config.faults.fetch_failure_rate =
+      options.GetDouble("fault_fetch_failure_rate", config.faults.fetch_failure_rate);
+  config.faults.fetch_max_retries =
+      options.GetInt("fault_fetch_max_retries", config.faults.fetch_max_retries);
+  config.faults.sync_miss_rate =
+      options.GetDouble("fault_sync_miss_rate", config.faults.sync_miss_rate);
+  config.faults.offline_rate =
+      options.GetDouble("fault_offline_rate", config.faults.offline_rate);
+  config.faults.offline_window_s =
+      options.GetDouble("fault_offline_window_h", config.faults.offline_window_s / kHour) * kHour;
+  config.faults.stale_decay = options.GetDouble("fault_stale_decay", config.faults.stale_decay);
+
   const std::string radio = options.GetString("radio", "3g");
   if (radio == "3g") {
     config.radio = ThreeGProfile();
@@ -166,6 +192,13 @@ int RunTool(const Options& options) {
 
   for (const std::string& key : options.UnusedKeys()) {
     std::cerr << "warning: unknown option '" << key << "' ignored\n";
+  }
+
+  // Reject bad knob combinations up front with a readable message rather
+  // than letting a CHECK fire mid-run.
+  if (const std::string config_error = ValidateConfig(config); !config_error.empty()) {
+    std::cerr << "adpad_sim: invalid config: " << config_error << "\n";
+    return 1;
   }
 
   const SweepOptions sweep{.threads = threads};
@@ -256,6 +289,16 @@ int RunTool(const Options& options) {
   table.AddRow({"cache hit rate", "-", cell(run_pad, pad.service.CacheHitRate(), 4)});
   table.AddRow({"mean replication", "-", cell(run_pad, pad.MeanReplication(), 2)});
   table.Print(std::cout);
+
+  if (run_pad && config.faults.AnyEnabled()) {
+    const FaultStats& faults = pad.faults;
+    std::cout << "\nfault injection: reports dropped=" << faults.reports_dropped
+              << " delayed=" << faults.reports_delayed
+              << ", fetch failures=" << faults.fetch_failures
+              << " (abandoned bundles=" << faults.bundles_abandoned << ")"
+              << ", syncs missed=" << faults.syncs_missed
+              << ", offline epochs=" << faults.offline_epochs << "\n";
+  }
 
   if (mode == "compare") {
     const Comparison comparison{baseline, pad};
