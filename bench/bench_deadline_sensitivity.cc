@@ -7,7 +7,7 @@
 namespace pad {
 namespace {
 
-void Run(int num_users, const SweepOptions& sweep) {
+void Run(int num_users, const SweepOptions& sweep, bench::BenchJson& json) {
   PadConfig config = bench::StandardConfig(num_users);
 
   PrintBanner(std::cout, "E8: display deadline sweep (T = 1 h)");
@@ -28,6 +28,9 @@ void Run(int num_users, const SweepOptions& sweep) {
   for (size_t i = 0; i < points.size(); ++i) {
     table.AddRow(bench::MetricsRow(FormatDouble(deadlines_min[i], 0) + "min",
                                    results[i].baseline, results[i].pad));
+    json.AddComparison("users=" + std::to_string(num_users) + " deadline_min=" +
+                           FormatDouble(deadlines_min[i], 0),
+                       results[i]);
   }
   table.Print(std::cout);
 
@@ -39,6 +42,8 @@ void Run(int num_users, const SweepOptions& sweep) {
 }  // namespace pad
 
 int main(int argc, char** argv) {
-  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250), pad::bench::SweepOptionsFromArgv(argc, argv));
-  return 0;
+  pad::bench::BenchJson json(argc, argv, "deadline_sensitivity");
+  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250), pad::bench::SweepOptionsFromArgv(argc, argv),
+           json);
+  return json.Flush() ? 0 : 1;
 }

@@ -17,7 +17,7 @@ struct AppEnergy {
   double foreground_h = 0.0;
 };
 
-void Run(int num_users) {
+void Run(int num_users, bench::BenchJson& json) {
   const AppCatalog catalog = AppCatalog::TopFifteen();
   PopulationConfig population_config;
   population_config.num_users = num_users;
@@ -76,12 +76,18 @@ void Run(int num_users) {
   summary.AddRow({"ads / communication energy", bench::Pct(aggregate.AdShareOfComm()), "65%"});
   summary.AddRow({"ads / total app energy", bench::Pct(aggregate.AdShareOfTotal()), "23%"});
   summary.Print(std::cout);
+
+  const std::string label = "users=" + std::to_string(num_users) + " radio=3g";
+  json.Add("ad_share_comm", aggregate.AdShareOfComm(), "fraction", label);
+  json.Add("ad_share_total", aggregate.AdShareOfTotal(), "fraction", label);
+  json.Add("ad_energy_j", aggregate.AdEnergyJ(), "J", label);
 }
 
 }  // namespace
 }  // namespace pad
 
 int main(int argc, char** argv) {
-  pad::Run(pad::bench::UsersFromArgv(argc, argv, 300));
-  return 0;
+  pad::bench::BenchJson json(argc, argv, "energy_breakdown");
+  pad::Run(pad::bench::UsersFromArgv(argc, argv, 300), json);
+  return json.Flush() ? 0 : 1;
 }

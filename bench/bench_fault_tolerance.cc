@@ -39,7 +39,7 @@ std::vector<std::string> FaultHeader() {
   return header;
 }
 
-void Run(int num_users, const SweepOptions& sweep) {
+void Run(int num_users, const SweepOptions& sweep, bench::BenchJson& json) {
   const PadConfig config = bench::StandardConfig(num_users);
   const SimInputs inputs = GenerateInputs(config);
   const BaselineResult baseline = RunBaseline(config, inputs);
@@ -59,6 +59,9 @@ void Run(int num_users, const SweepOptions& sweep) {
   TextTable table(FaultHeader());
   for (size_t i = 0; i < kRates.size(); ++i) {
     table.AddRow(FaultRow(FormatDouble(kRates[i], 2), baseline, runs[i]));
+    json.AddComparison("users=" + std::to_string(num_users) + " sweep=uniform rate=" +
+                           FormatDouble(kRates[i], 2),
+                       Comparison{baseline, runs[i]});
   }
   table.Print(std::cout);
 
@@ -82,6 +85,8 @@ void Run(int num_users, const SweepOptions& sweep) {
 }  // namespace pad
 
 int main(int argc, char** argv) {
-  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250), pad::bench::SweepOptionsFromArgv(argc, argv));
-  return 0;
+  pad::bench::BenchJson json(argc, argv, "fault_tolerance");
+  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250), pad::bench::SweepOptionsFromArgv(argc, argv),
+           json);
+  return json.Flush() ? 0 : 1;
 }

@@ -3,6 +3,7 @@
 // tail ablation called out in DESIGN.md §6.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "src/apps/workload.h"
 #include "src/auction/exchange.h"
 #include "src/common/rng.h"
@@ -149,7 +150,54 @@ void BM_EndToEndQuickRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndQuickRun)->Unit(benchmark::kMillisecond);
 
+// Console reporter that also collects each benchmark's per-iteration real
+// time into BenchRow JSON when `--json <path>` is given, so the micro suite
+// feeds the same bench_compare gate as the end-to-end harnesses.
+class JsonCollector : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCollector(bench::BenchJson* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration || run.iterations <= 0) {
+        continue;
+      }
+      const double ns_per_iter =
+          1e9 * run.real_accumulated_time / static_cast<double>(run.iterations);
+      json_->Add(run.benchmark_name(), ns_per_iter, "ns/iter", "");
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  bench::BenchJson* json_;
+};
+
 }  // namespace
 }  // namespace pad
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  pad::bench::BenchJson json(argc, argv, "micro");
+  // Hide --json from google-benchmark's flag parser.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  args.push_back(nullptr);
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  pad::JsonCollector reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return json.Flush() ? 0 : 1;
+}

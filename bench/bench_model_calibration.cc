@@ -26,19 +26,37 @@ void PrintCurve(const char* title, const PadRunResult& pad) {
   table.Print(std::cout);
 }
 
-void Run(int num_users) {
+// Impression-weighted mean |realized - predicted| across occupied buckets.
+double CalibrationMae(const PadRunResult& pad) {
+  double weighted = 0.0;
+  double total = 0.0;
+  for (const CalibrationBucket& bucket : pad.calibration) {
+    if (bucket.planned == 0) {
+      continue;
+    }
+    weighted += std::fabs(bucket.RealizedRate() - bucket.PredictedRate()) *
+                static_cast<double>(bucket.planned);
+    total += static_cast<double>(bucket.planned);
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
+
+void Run(int num_users, bench::BenchJson& json) {
   PadConfig config = bench::StandardConfig(num_users);
   const SimInputs inputs = GenerateInputs(config);
+  const std::string label = "users=" + std::to_string(num_users);
 
   {
     const PadRunResult pad = RunPad(config, inputs);
     PrintCurve("E15: calibration, full system (rescue on)", pad);
+    json.Add("calibration_mae_full", CalibrationMae(pad), "fraction", label);
   }
   {
     PadConfig point = config;
     point.rescue_enabled = false;
     const PadRunResult pad = RunPad(point, inputs);
     PrintCurve("E15: calibration, rescue disabled (raw dispatch-time model)", pad);
+    json.Add("calibration_mae_no_rescue", CalibrationMae(pad), "fraction", label);
   }
   {
     PadConfig point = config;
@@ -46,6 +64,7 @@ void Run(int num_users) {
     point.planner.confidence_discount = 0.7;
     const PadRunResult pad = RunPad(point, inputs);
     PrintCurve("E15: calibration with 0.7 confidence discount (distrust the model)", pad);
+    json.Add("calibration_mae_discounted", CalibrationMae(pad), "fraction", label);
   }
 
   std::cout << "\nReading: 'realized' above 'mean_predicted' means the system over-delivers\n"
@@ -56,6 +75,7 @@ void Run(int num_users) {
 }  // namespace pad
 
 int main(int argc, char** argv) {
-  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250));
-  return 0;
+  pad::bench::BenchJson json(argc, argv, "model_calibration");
+  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250), json);
+  return json.Flush() ? 0 : 1;
 }

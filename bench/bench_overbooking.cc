@@ -7,7 +7,8 @@
 namespace pad {
 namespace {
 
-void Run(int num_users, const SweepOptions& sweep) {
+void Run(int num_users, const SweepOptions& sweep, bench::BenchJson& json) {
+  const std::string label = "users=" + std::to_string(num_users);
   PadConfig config = bench::StandardConfig(num_users);
   config.planner.max_replicas = 8;
   const SimInputs inputs = GenerateInputs(config);
@@ -26,6 +27,8 @@ void Run(int num_users, const SweepOptions& sweep) {
   const std::vector<PadRunResult> factor_runs = RunPadMany(factor_points, inputs, sweep);
   for (size_t i = 0; i < factors.size(); ++i) {
     table.AddRow(bench::MetricsRow(FormatDouble(factors[i], 2), baseline, factor_runs[i]));
+    json.AddComparison(label + " factor=" + FormatDouble(factors[i], 2),
+                       Comparison{baseline, factor_runs[i]});
   }
   table.Print(std::cout);
 
@@ -42,6 +45,8 @@ void Run(int num_users, const SweepOptions& sweep) {
   const std::vector<PadRunResult> target_runs = RunPadMany(target_points, inputs, sweep);
   for (size_t i = 0; i < targets.size(); ++i) {
     adaptive.AddRow(bench::MetricsRow(FormatDouble(targets[i], 2), baseline, target_runs[i]));
+    json.AddComparison(label + " sla_target=" + FormatDouble(targets[i], 2),
+                       Comparison{baseline, target_runs[i]});
   }
   adaptive.Print(std::cout);
 
@@ -62,6 +67,8 @@ void Run(int num_users, const SweepOptions& sweep) {
 }  // namespace pad
 
 int main(int argc, char** argv) {
-  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250), pad::bench::SweepOptionsFromArgv(argc, argv));
-  return 0;
+  pad::bench::BenchJson json(argc, argv, "overbooking");
+  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250), pad::bench::SweepOptionsFromArgv(argc, argv),
+           json);
+  return json.Flush() ? 0 : 1;
 }

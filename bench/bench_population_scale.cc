@@ -6,12 +6,33 @@
 // Each population size is one independent paired run, so the seven points
 // fan out across the sweep engine; `--threads N` sets the concurrency and
 // leaves every number bit-identical to the serial run.
+//
+// E17 — Population scale ceiling: `--scale_users N` switches to the
+// streaming sharded engine (src/core/shard_engine.h) and runs one paired
+// comparison at N users under a resident-memory budget, reporting wall-clock
+// throughput (users/s) and peak RSS. This is the mode that produces the
+// checked-in BENCH_population_scale.json baseline:
+//
+//   $ bench_population_scale --scale_users 1000000 --market_users 2000 \
+//       --max_resident_users 20000 --days 9 --json BENCH_population_scale.json
+#include <sys/resource.h>
+
+#include <chrono>
+
 #include "bench/bench_util.h"
+#include "src/core/shard_engine.h"
 
 namespace pad {
 namespace {
 
-void Run(const SweepOptions& sweep) {
+// Peak resident set size of this process in MiB (ru_maxrss is KiB on Linux).
+double PeakRssMib() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+void RunPopulationEffect(const SweepOptions& sweep, bench::BenchJson& json) {
   PrintBanner(std::cout, "E10: metrics vs population size (same policy everywhere)");
   const std::vector<int> sizes = {10, 25, 50, 100, 200, 400, 800};
   std::vector<PadConfig> configs;
@@ -25,14 +46,114 @@ void Run(const SweepOptions& sweep) {
   for (size_t i = 0; i < sizes.size(); ++i) {
     table.AddRow(bench::MetricsRow(std::to_string(sizes[i]), results[i].baseline,
                                    results[i].pad));
+    json.AddComparison("users=" + std::to_string(sizes[i]), results[i]);
   }
   table.Print(std::cout);
+}
+
+struct ScaleOptions {
+  int64_t users = 0;
+  int64_t market_users = 2000;
+  int shards = 1;
+  int threads = 1;
+  int64_t max_resident_users = 20000;
+  double days = 9.0;  // 7 warmup + 2 scored keeps 1M users tractable.
+};
+
+ScaleOptions ScaleOptionsFromArgv(int argc, char** argv) {
+  ScaleOptions options;
+  auto int_flag = [&](const char* name, int64_t* out, int i) {
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+      *out = std::atoll(argv[i + 1]);
+    }
+  };
+  for (int i = 1; i < argc; ++i) {
+    int_flag("--scale_users", &options.users, i);
+    int_flag("--market_users", &options.market_users, i);
+    int_flag("--max_resident_users", &options.max_resident_users, i);
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      options.shards = std::atoi(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--days") == 0 && i + 1 < argc) {
+      options.days = std::atof(argv[i + 1]);
+    }
+  }
+  return options;
+}
+
+int RunScaleCeiling(const ScaleOptions& scale, const SweepOptions& sweep,
+                    bench::BenchJson& json) {
+  PadConfig config = bench::StandardConfig(static_cast<int>(scale.users));
+  config.population.horizon_s = scale.days * kDay;
+  config.market_users = scale.market_users;
+  // Demand scales per market inside the engine; pin the population-wide rate
+  // the same way StandardConfig does.
+  ShardEngineOptions options;
+  options.shards = scale.shards;
+  options.threads = sweep.threads;
+  options.max_resident_users = scale.max_resident_users;
+  options.event_digests = false;
+  if (const std::string error = ValidateShardOptions(config, options); !error.empty()) {
+    std::cerr << "bench_population_scale: " << error << "\n";
+    return 1;
+  }
+
+  const std::string label =
+      "users=" + std::to_string(scale.users) + " days=" + FormatDouble(scale.days, 0) +
+      " market_users=" + std::to_string(scale.market_users) +
+      " max_resident_users=" + std::to_string(scale.max_resident_users);
+  PrintBanner(std::cout, "E17: streaming scale ceiling (" + label + ")");
+
+  const auto start = std::chrono::steady_clock::now();
+  const ShardedComparison result = RunShardedComparison(config, options);
+  const double wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const double users_per_s = static_cast<double>(result.total_users) / wall_s;
+  const double rss_mib = PeakRssMib();
+
+  TextTable table({"metric", "value"});
+  table.AddRow({"users", std::to_string(result.total_users)});
+  table.AddRow({"markets", std::to_string(result.num_markets)});
+  table.AddRow({"sessions", std::to_string(result.total_sessions)});
+  table.AddRow({"wall time", FormatDouble(wall_s, 1) + " s"});
+  table.AddRow({"throughput", FormatDouble(users_per_s, 1) + " users/s"});
+  table.AddRow({"generate / simulate",
+                FormatDouble(result.generate_seconds, 1) + " s / " +
+                    FormatDouble(result.simulate_seconds, 1) + " s"});
+  table.AddRow({"peak resident users", std::to_string(result.peak_resident_users)});
+  table.AddRow({"peak RSS", FormatDouble(rss_mib, 1) + " MiB"});
+  table.AddRow({"ad energy savings", bench::Pct(result.totals.AdEnergySavings())});
+  table.AddRow({"SLA violation rate",
+                bench::Pct(result.totals.pad.ledger.SlaViolationRate(), 2)});
+  table.AddRow({"revenue loss rate",
+                bench::Pct(result.totals.pad.ledger.RevenueLossRate(), 2)});
+  table.AddRow({"revenue vs baseline", bench::Pct(result.totals.RevenueRatio())});
+  table.AddRow({"cache hit rate", bench::Pct(result.totals.pad.service.CacheHitRate())});
+  table.AddRow({"mean replication", FormatDouble(result.totals.pad.MeanReplication(), 2)});
+  table.Print(std::cout);
+
+  json.AddComparison(label, result.totals);
+  json.Add("sessions", static_cast<double>(result.total_sessions), "count", label);
+  json.Add("peak_resident_users", static_cast<double>(result.peak_resident_users), "users",
+           label);
+  json.Add("users_per_s", users_per_s, "users/s", label);
+  json.Add("peak_rss_mib", rss_mib, "MiB", label);
+  return 0;
 }
 
 }  // namespace
 }  // namespace pad
 
 int main(int argc, char** argv) {
-  pad::Run(pad::bench::SweepOptionsFromArgv(argc, argv));
-  return 0;
+  const pad::SweepOptions sweep = pad::bench::SweepOptionsFromArgv(argc, argv);
+  const pad::ScaleOptions scale = pad::ScaleOptionsFromArgv(argc, argv);
+  pad::bench::BenchJson json(argc, argv, "population_scale");
+  if (scale.users > 0) {
+    const int status = pad::RunScaleCeiling(scale, sweep, json);
+    if (status != 0) {
+      return status;
+    }
+  } else {
+    pad::RunPopulationEffect(sweep, json);
+  }
+  return json.Flush() ? 0 : 1;
 }

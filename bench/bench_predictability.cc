@@ -14,7 +14,7 @@
 namespace pad {
 namespace {
 
-void Run(int num_users) {
+void Run(int num_users, bench::BenchJson& json) {
   const AppCatalog catalog = AppCatalog::TopFifteen();
   PopulationConfig config;
   config.num_users = num_users;
@@ -61,6 +61,11 @@ void Run(int num_users) {
                     FormatDouble(abs_error.Percentile(90.0), 2), FormatDouble(rmse.mean(), 2),
                     FormatDouble(rel_error.mean(), 2), bench::Pct(over.mean()),
                     bench::Pct(under.mean())});
+      const std::string label = "users=" + std::to_string(num_users) + " window_h=" +
+                                FormatDouble(window_s / kHour, 0) + " predictor=" +
+                                PredictorKindName(kind);
+      json.Add("mean_abs_err", abs_error.mean(), "slots", label);
+      json.Add("rmse", rmse.mean(), "slots", label);
     }
     // Oracle floor for context.
     table.AddRow({"oracle", "0.00", "0.00", "0.00", "0.00", "0.0%", "0.0%"});
@@ -72,6 +77,7 @@ void Run(int num_users) {
 }  // namespace pad
 
 int main(int argc, char** argv) {
-  pad::Run(pad::bench::UsersFromArgv(argc, argv, 400));
-  return 0;
+  pad::bench::BenchJson json(argc, argv, "predictability");
+  pad::Run(pad::bench::UsersFromArgv(argc, argv, 400), json);
+  return json.Flush() ? 0 : 1;
 }

@@ -8,7 +8,7 @@
 namespace pad {
 namespace {
 
-void Run(int num_users, const SweepOptions& sweep) {
+void Run(int num_users, const SweepOptions& sweep, bench::BenchJson& json) {
   PadConfig config = bench::StandardConfig(num_users);
   config.use_noisy_oracle = true;
   const SimInputs inputs = GenerateInputs(config);
@@ -26,6 +26,9 @@ void Run(int num_users, const SweepOptions& sweep) {
   const std::vector<PadRunResult> runs = RunPadMany(points, inputs, sweep);
   for (size_t i = 0; i < sigmas.size(); ++i) {
     table.AddRow(bench::MetricsRow(FormatDouble(sigmas[i], 2), baseline, runs[i]));
+    json.AddComparison("users=" + std::to_string(num_users) + " noise_sigma=" +
+                           FormatDouble(sigmas[i], 2),
+                       Comparison{baseline, runs[i]});
   }
   table.Print(std::cout);
 
@@ -41,6 +44,8 @@ void Run(int num_users, const SweepOptions& sweep) {
 }  // namespace pad
 
 int main(int argc, char** argv) {
-  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250), pad::bench::SweepOptionsFromArgv(argc, argv));
-  return 0;
+  pad::bench::BenchJson json(argc, argv, "prediction_noise");
+  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250), pad::bench::SweepOptionsFromArgv(argc, argv),
+           json);
+  return json.Flush() ? 0 : 1;
 }

@@ -6,7 +6,7 @@
 namespace pad {
 namespace {
 
-void Run(int num_users) {
+void Run(int num_users, bench::BenchJson& json) {
   PadConfig config = bench::StandardConfig(num_users);
   SimInputs inputs = GenerateInputs(config);
   const BaselineResult baseline = RunBaseline(config, inputs);
@@ -15,6 +15,8 @@ void Run(int num_users) {
                              " users, 2 scored weeks, 3G, T = 1 h, D = 3 h)");
   const PadRunResult pad = RunPad(config, inputs);
   const Comparison headline{baseline, pad};
+  json.AddComparison("users=" + std::to_string(num_users) + " window_h=1 deadline_h=3",
+                     headline);
   TextTable table({"metric", "measured", "paper"});
   table.AddRow({"ad energy savings", bench::Pct(headline.AdEnergySavings()), ">50%"});
   table.AddRow({"SLA violation rate", bench::Pct(pad.ledger.SlaViolationRate(), 2),
@@ -76,6 +78,7 @@ void Run(int num_users) {
 }  // namespace pad
 
 int main(int argc, char** argv) {
-  pad::Run(pad::bench::UsersFromArgv(argc, argv, 300));
-  return 0;
+  pad::bench::BenchJson json(argc, argv, "prefetch_savings");
+  pad::Run(pad::bench::UsersFromArgv(argc, argv, 300), json);
+  return json.Flush() ? 0 : 1;
 }

@@ -8,7 +8,7 @@
 namespace pad {
 namespace {
 
-void Run() {
+void Run(bench::BenchJson& json) {
   const std::vector<RadioProfile> profiles = {ThreeGProfile(), LteProfile(), WifiProfile(),
                                               IdealProfile()};
 
@@ -51,6 +51,8 @@ void Run() {
       const double machine = SimulateTransfers(profile, one, 1e9).total_energy_j();
       validation.AddRow({profile.name, FormatDouble(kib, 0) + "KiB", FormatDouble(closed, 3),
                          FormatDouble(machine, 3), FormatDouble(machine - closed, 6)});
+      json.Add("isolated_transfer_j", machine, "J",
+               "radio=" + std::string(profile.name) + " kib=" + FormatDouble(kib, 0));
     }
   }
   validation.Print(std::cout);
@@ -59,7 +61,8 @@ void Run() {
 }  // namespace
 }  // namespace pad
 
-int main() {
-  pad::Run();
-  return 0;
+int main(int argc, char** argv) {
+  pad::bench::BenchJson json(argc, argv, "radio_model");
+  pad::Run(json);
+  return json.Flush() ? 0 : 1;
 }

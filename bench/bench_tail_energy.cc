@@ -24,7 +24,7 @@ double EnergyPerAd(const RadioProfile& profile, double interval_s, int count) {
   return report.total_energy_j() / count;
 }
 
-void Run() {
+void Run(bench::BenchJson& json) {
   const std::vector<RadioProfile> profiles = {ThreeGProfile(), LteProfile(), WifiProfile()};
   const std::vector<double> intervals = {5.0,  15.0,  30.0,  60.0,
                                          120.0, 300.0, 600.0};
@@ -58,8 +58,9 @@ void Run() {
   PrintBanner(std::cout, "E2: single isolated ad fetch (paper: ~10 J on 3G)");
   TextTable isolated({"radio", "energy_J"});
   for (const RadioProfile& profile : profiles) {
-    isolated.AddRow({profile.name,
-                     FormatDouble(profile.IsolatedTransferEnergy(3.0 * kKiB, false), 2)});
+    const double energy_j = profile.IsolatedTransferEnergy(3.0 * kKiB, false);
+    isolated.AddRow({profile.name, FormatDouble(energy_j, 2)});
+    json.Add("isolated_ad_fetch_j", energy_j, "J", "radio=" + std::string(profile.name));
   }
   isolated.Print(std::cout);
 }
@@ -67,7 +68,8 @@ void Run() {
 }  // namespace
 }  // namespace pad
 
-int main() {
-  pad::Run();
-  return 0;
+int main(int argc, char** argv) {
+  pad::bench::BenchJson json(argc, argv, "tail_energy");
+  pad::Run(json);
+  return json.Flush() ? 0 : 1;
 }

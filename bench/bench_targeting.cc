@@ -8,7 +8,7 @@
 namespace pad {
 namespace {
 
-void Run(int num_users) {
+void Run(int num_users, bench::BenchJson& json) {
   PadConfig config = bench::StandardConfig(num_users);
   config.population.num_segments = 8;
 
@@ -22,6 +22,9 @@ void Run(int num_users) {
     const BaselineResult baseline = RunBaseline(point, inputs);
     const PadRunResult pad = RunPad(point, inputs);
     fraction_table.AddRow(bench::MetricsRow(FormatDouble(fraction, 2), baseline, pad));
+    json.AddComparison("users=" + std::to_string(num_users) + " targeted_frac=" +
+                           FormatDouble(fraction, 2),
+                       Comparison{baseline, pad});
   }
   fraction_table.Print(std::cout);
 
@@ -70,6 +73,7 @@ void Run(int num_users) {
 }  // namespace pad
 
 int main(int argc, char** argv) {
-  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250));
-  return 0;
+  pad::bench::BenchJson json(argc, argv, "targeting");
+  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250), json);
+  return json.Flush() ? 0 : 1;
 }

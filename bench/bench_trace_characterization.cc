@@ -12,7 +12,7 @@
 namespace pad {
 namespace {
 
-void Run(int num_users) {
+void Run(int num_users, bench::BenchJson& json) {
   const AppCatalog catalog = AppCatalog::TopFifteen();
   PopulationConfig config;
   config.num_users = num_users;
@@ -82,12 +82,19 @@ void Run(int num_users) {
   slots.AddRow({"mean lag-1 day autocorrelation",
                 FormatDouble(day_autocorrelation.mean(), 3)});
   slots.Print(std::cout);
+
+  const std::string label = "users=" + std::to_string(num_users) + " weeks=4";
+  json.Add("sessions_per_user_day", stats.sessions_per_user_day.mean(), "sessions", label);
+  json.Add("median_session_s", stats.session_duration_s.Median(), "s", label);
+  json.Add("mean_slots_per_user_day", daily_slots_per_user.mean(), "slots", label);
+  json.Add("day_autocorrelation", day_autocorrelation.mean(), "corr", label);
 }
 
 }  // namespace
 }  // namespace pad
 
 int main(int argc, char** argv) {
-  pad::Run(pad::bench::UsersFromArgv(argc, argv, 1700));
-  return 0;
+  pad::bench::BenchJson json(argc, argv, "trace_characterization");
+  pad::Run(pad::bench::UsersFromArgv(argc, argv, 1700), json);
+  return json.Flush() ? 0 : 1;
 }

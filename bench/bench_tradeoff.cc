@@ -11,7 +11,7 @@
 namespace pad {
 namespace {
 
-void Run(int num_users, const SweepOptions& sweep) {
+void Run(int num_users, const SweepOptions& sweep, bench::BenchJson& json) {
   PadConfig config = bench::StandardConfig(num_users);
   const SimInputs inputs = GenerateInputs(config);
   const BaselineResult baseline = RunBaseline(config, inputs);
@@ -29,6 +29,9 @@ void Run(int num_users, const SweepOptions& sweep) {
   for (size_t i = 0; i < confidences.size(); ++i) {
     frontier.AddRow(
         bench::MetricsRow(FormatDouble(confidences[i], 2), baseline, frontier_runs[i]));
+    json.AddComparison("users=" + std::to_string(num_users) + " capacity_conf=" +
+                           FormatDouble(confidences[i], 2),
+                       Comparison{baseline, frontier_runs[i]});
   }
   frontier.Print(std::cout);
 
@@ -66,6 +69,8 @@ void Run(int num_users, const SweepOptions& sweep) {
 }  // namespace pad
 
 int main(int argc, char** argv) {
-  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250), pad::bench::SweepOptionsFromArgv(argc, argv));
-  return 0;
+  pad::bench::BenchJson json(argc, argv, "tradeoff");
+  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250), pad::bench::SweepOptionsFromArgv(argc, argv),
+           json);
+  return json.Flush() ? 0 : 1;
 }

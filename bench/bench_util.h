@@ -15,6 +15,7 @@
 #include <iostream>
 #include <string>
 
+#include "src/common/bench_baseline.h"
 #include "src/common/stats.h"
 #include "src/common/table.h"
 #include "src/common/units.h"
@@ -68,6 +69,65 @@ inline SweepOptions SweepOptionsFromArgv(int argc, char** argv) {
 inline std::string Pct(double fraction, int precision = 1) {
   return FormatDouble(100.0 * fraction, precision) + "%";
 }
+
+// Machine-readable output: `--json <path>` makes the harness also write its
+// results as BenchRow JSON (src/common/bench_baseline.h). Collect rows while
+// printing the human tables, then Flush() before exiting. Flush is also run
+// by the destructor so early returns still write the file.
+class BenchJson {
+ public:
+  BenchJson(int argc, char** argv, std::string bench) : bench_(std::move(bench)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        path_ = argv[i + 1];
+      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        path_ = argv[i] + 7;
+      }
+    }
+  }
+  ~BenchJson() { Flush(); }
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(const std::string& metric, double value, const std::string& unit,
+           const std::string& config) {
+    rows_.push_back(BenchRow{bench_, metric, value, unit, config});
+  }
+
+  // The standard comparison metrics every end-to-end harness reports.
+  void AddComparison(const std::string& config, const Comparison& comparison) {
+    Add("ad_energy_savings", comparison.AdEnergySavings(), "fraction", config);
+    Add("cache_hit_rate", comparison.pad.service.CacheHitRate(), "fraction", config);
+    Add("sla_violation_rate", comparison.pad.ledger.SlaViolationRate(), "fraction", config);
+    Add("revenue_loss_rate", comparison.pad.ledger.RevenueLossRate(), "fraction", config);
+    Add("mean_replication", comparison.pad.MeanReplication(), "replicas", config);
+    Add("revenue_ratio", comparison.RevenueRatio(), "fraction", config);
+  }
+
+  // Writes the collected rows if --json was given. Returns false (after
+  // printing the error) only on IO failure.
+  bool Flush() {
+    if (path_.empty() || flushed_) {
+      return true;
+    }
+    flushed_ = true;
+    std::string error;
+    if (!SaveBenchRows(path_, rows_, &error)) {
+      std::cerr << "bench --json: " << error << "\n";
+      return false;
+    }
+    std::cout << "wrote " << rows_.size() << " bench rows to " << path_ << "\n";
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<BenchRow> rows_;
+  bool flushed_ = false;
+};
 
 // Summary row shared by the end-to-end sweeps.
 inline std::vector<std::string> MetricsRow(const std::string& label,

@@ -7,7 +7,7 @@
 namespace pad {
 namespace {
 
-void Run(int num_users) {
+void Run(int num_users, bench::BenchJson& json) {
   PadConfig config = bench::StandardConfig(num_users);
   const SimInputs inputs = GenerateInputs(config);
 
@@ -29,6 +29,8 @@ void Run(int num_users) {
                   bench::Pct(comparison.AdEnergySavings()),
                   bench::Pct(pad.ledger.SlaViolationRate(), 2),
                   bench::Pct(pad.ledger.RevenueLossRate(), 2)});
+    json.AddComparison(
+        "users=" + std::to_string(num_users) + " scenario=" + scenario.label, comparison);
   }
   table.Print(std::cout);
 
@@ -53,6 +55,7 @@ void Run(int num_users) {
 }  // namespace pad
 
 int main(int argc, char** argv) {
-  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250));
-  return 0;
+  pad::bench::BenchJson json(argc, argv, "wifi_offload");
+  pad::Run(pad::bench::UsersFromArgv(argc, argv, 250), json);
+  return json.Flush() ? 0 : 1;
 }

@@ -21,6 +21,16 @@ double LedgerTotals::RevenueLossRate() const {
   return static_cast<double>(excess_displays) / static_cast<double>(displays);
 }
 
+void LedgerTotals::Merge(const LedgerTotals& other) {
+  sold += other.sold;
+  billed += other.billed;
+  violated += other.violated;
+  excess_displays += other.excess_displays;
+  displays += other.displays;
+  billed_revenue += other.billed_revenue;
+  violated_value += other.violated_value;
+}
+
 void RevenueLedger::RecordSale(const SoldImpression& impression) {
   PAD_CHECK(impression.deadline >= impression.sale_time);
   PAD_CHECK(impression.price >= 0.0);

@@ -46,6 +46,9 @@ struct LedgerTotals {
   // paper's revenue-loss metric: every excess display occupied a slot the
   // exchange could have sold.
   double RevenueLossRate() const;
+
+  // Accumulates another ledger's totals (shard merge).
+  void Merge(const LedgerTotals& other);
 };
 
 class RevenueLedger {

@@ -1,0 +1,183 @@
+#include "src/common/bench_baseline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/json.h"
+
+namespace pad {
+namespace {
+
+std::string RowKey(const BenchRow& row) {
+  return row.bench + "\x1f" + row.metric + "\x1f" + row.config;
+}
+
+bool RowFromJson(const JsonValue& value, BenchRow* row, std::string* error) {
+  if (!value.is_object()) {
+    *error = "bench row is not an object";
+    return false;
+  }
+  const JsonValue* bench = value.Get("bench");
+  const JsonValue* metric = value.Get("metric");
+  const JsonValue* number = value.Get("value");
+  if (bench == nullptr || !bench->is_string() || metric == nullptr || !metric->is_string() ||
+      number == nullptr || !number->is_number()) {
+    *error = "bench row needs string 'bench'/'metric' and numeric 'value'";
+    return false;
+  }
+  row->bench = bench->AsString();
+  row->metric = metric->AsString();
+  row->value = number->AsNumber();
+  if (const JsonValue* unit = value.Get("unit"); unit != nullptr && unit->is_string()) {
+    row->unit = unit->AsString();
+  }
+  if (const JsonValue* config = value.Get("config"); config != nullptr && config->is_string()) {
+    row->config = config->AsString();
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string BenchRowsToJson(const std::vector<BenchRow>& rows) {
+  JsonValue array = JsonValue::Array();
+  for (const BenchRow& row : rows) {
+    JsonValue object = JsonValue::Object();
+    object.Set("bench", JsonValue(row.bench));
+    object.Set("metric", JsonValue(row.metric));
+    object.Set("value", JsonValue(row.value));
+    object.Set("unit", JsonValue(row.unit));
+    object.Set("config", JsonValue(row.config));
+    array.Append(std::move(object));
+  }
+  return array.Dump(2);
+}
+
+bool BenchRowsFromJson(const std::string& text, std::vector<BenchRow>* rows,
+                       std::string* error) {
+  rows->clear();
+  std::string parse_error;
+  std::optional<JsonValue> document = JsonParse(text, &parse_error);
+  if (!document.has_value()) {
+    *error = "malformed JSON: " + parse_error;
+    return false;
+  }
+  if (!document->is_array()) {
+    *error = "bench file must be a JSON array of rows";
+    return false;
+  }
+  for (const JsonValue& element : document->AsArray()) {
+    BenchRow row;
+    if (!RowFromJson(element, &row, error)) {
+      return false;
+    }
+    rows->push_back(std::move(row));
+  }
+  return true;
+}
+
+bool LoadBenchRows(const std::string& path, std::vector<BenchRow>* rows, std::string* error) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!BenchRowsFromJson(buffer.str(), rows, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+bool SaveBenchRows(const std::string& path, const std::vector<BenchRow>& rows,
+                   std::string* error) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << BenchRowsToJson(rows);
+  if (!out.good()) {
+    *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+std::vector<BenchDiff> CompareBenchRows(const std::vector<BenchRow>& baseline,
+                                        const std::vector<BenchRow>& candidate,
+                                        const BenchCompareOptions& options) {
+  std::vector<BenchDiff> diffs;
+  std::vector<bool> matched(candidate.size(), false);
+  auto find_candidate = [&](const BenchRow& row) -> int {
+    const std::string key = RowKey(row);
+    for (size_t i = 0; i < candidate.size(); ++i) {
+      if (!matched[i] && RowKey(candidate[i]) == key) {
+        matched[i] = true;
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+
+  for (const BenchRow& row : baseline) {
+    if (!options.config_filter.empty() && row.config != options.config_filter) {
+      continue;
+    }
+    BenchDiff diff;
+    diff.bench = row.bench;
+    diff.metric = row.metric;
+    diff.config = row.config;
+    diff.baseline = row.value;
+    const auto tolerance = options.metric_tolerance.find(row.metric);
+    diff.tolerance = tolerance != options.metric_tolerance.end() ? tolerance->second
+                                                                 : options.default_tolerance;
+    const int index = find_candidate(row);
+    if (options.ignore_metrics.count(row.metric) > 0) {
+      diff.status = BenchDiffStatus::kIgnored;
+      if (index >= 0) {
+        diff.candidate = candidate[static_cast<size_t>(index)].value;
+      }
+    } else if (index < 0) {
+      diff.status = BenchDiffStatus::kMissing;
+    } else {
+      diff.candidate = candidate[static_cast<size_t>(index)].value;
+      const double scale = std::max(std::fabs(diff.baseline), std::fabs(diff.candidate));
+      diff.rel_diff = scale > 0.0 ? std::fabs(diff.candidate - diff.baseline) / scale : 0.0;
+      diff.status =
+          diff.rel_diff <= diff.tolerance ? BenchDiffStatus::kOk : BenchDiffStatus::kDrifted;
+    }
+    diffs.push_back(std::move(diff));
+  }
+
+  for (size_t i = 0; i < candidate.size(); ++i) {
+    if (matched[i]) {
+      continue;
+    }
+    if (!options.config_filter.empty() && candidate[i].config != options.config_filter) {
+      continue;
+    }
+    BenchDiff diff;
+    diff.bench = candidate[i].bench;
+    diff.metric = candidate[i].metric;
+    diff.config = candidate[i].config;
+    diff.candidate = candidate[i].value;
+    diff.status = options.ignore_metrics.count(candidate[i].metric) > 0
+                      ? BenchDiffStatus::kIgnored
+                      : BenchDiffStatus::kExtra;
+    diffs.push_back(std::move(diff));
+  }
+  return diffs;
+}
+
+bool BenchCompareFailed(const std::vector<BenchDiff>& diffs) {
+  return std::any_of(diffs.begin(), diffs.end(), [](const BenchDiff& diff) {
+    return diff.status == BenchDiffStatus::kDrifted || diff.status == BenchDiffStatus::kMissing;
+  });
+}
+
+}  // namespace pad

@@ -1,0 +1,469 @@
+#include "src/common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pad {
+namespace {
+
+// Shortest decimal form that round-trips a double, with integral values kept
+// integral so the files stay diffable.
+std::string NumberToString(double value) {
+  if (std::rint(value) == value && std::fabs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    return buffer;
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  double parsed = std::strtod(buffer, nullptr);
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
+    if (std::strtod(shorter, nullptr) == value) {
+      return shorter;
+    }
+  }
+  (void)parsed;
+  return buffer;
+}
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error) : text_(text), error_(error) {}
+
+  std::optional<JsonValue> Run() {
+    SkipWhitespace();
+    std::optional<JsonValue> value = ParseValue();
+    if (!value.has_value()) {
+      return std::nullopt;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after the JSON value");
+    }
+    return value;
+  }
+
+ private:
+  std::optional<JsonValue> Fail(const std::string& message) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = message + " at byte " + std::to_string(pos_);
+    }
+    return std::nullopt;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    const size_t length = std::strlen(literal);
+    if (text_.compare(pos_, length, literal) == 0) {
+      pos_ += length;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> ParseValue() {
+    if (++depth_ > kMaxDepth) {
+      return Fail("nesting too deep");
+    }
+    std::optional<JsonValue> value = ParseValueInner();
+    --depth_;
+    return value;
+  }
+
+  std::optional<JsonValue> ParseValueInner() {
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    switch (text_[pos_]) {
+      case 'n':
+        if (ConsumeLiteral("null")) return JsonValue();
+        return Fail("invalid literal");
+      case 't':
+        if (ConsumeLiteral("true")) return JsonValue(true);
+        return Fail("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return JsonValue(false);
+        return Fail("invalid literal");
+      case '"':
+        return ParseString();
+      case '[':
+        return ParseArray();
+      case '{':
+        return ParseObject();
+      default:
+        return ParseNumber();
+    }
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    const size_t int_start = pos_;
+    if (!ConsumeDigits()) {
+      return Fail("invalid number");
+    }
+    // JSON forbids leading zeros: "0" is fine, "01" is not.
+    if (pos_ - int_start > 1 && text_[int_start] == '0') {
+      return Fail("invalid number: leading zero");
+    }
+    if (Consume('.') && !ConsumeDigits()) {
+      return Fail("invalid number: digits must follow the decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!ConsumeDigits()) {
+        return Fail("invalid number: empty exponent");
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      return Fail("invalid number");
+    }
+    return JsonValue(value);
+  }
+
+  bool ConsumeDigits() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  std::optional<JsonValue> ParseString() {
+    std::string out;
+    if (!ParseStringInto(out)) {
+      return std::nullopt;
+    }
+    return JsonValue(std::move(out));
+  }
+
+  bool ParseStringInto(std::string& out) {
+    if (!Consume('"')) {
+      Fail("expected '\"'");
+      return false;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("unescaped control character in string");
+        return false;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (!AppendUnicodeEscape(out)) {
+            return false;
+          }
+          break;
+        }
+        default:
+          Fail("invalid escape sequence");
+          return false;
+      }
+    }
+    Fail("unterminated string");
+    return false;
+  }
+
+  bool AppendUnicodeEscape(std::string& out) {
+    unsigned code = 0;
+    if (!ReadHex4(&code)) {
+      return false;
+    }
+    // Surrogate pair: a high surrogate must be followed by \uDC00-\uDFFF.
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      unsigned low = 0;
+      if (!ConsumeLiteral("\\u") || !ReadHex4(&low) || low < 0xDC00 || low > 0xDFFF) {
+        Fail("invalid surrogate pair");
+        return false;
+      }
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      Fail("unpaired low surrogate");
+      return false;
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+    return true;
+  }
+
+  bool ReadHex4(unsigned* out) {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) {
+        Fail("truncated \\u escape");
+        return false;
+      }
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        Fail("invalid \\u escape");
+        return false;
+      }
+    }
+    *out = value;
+    return true;
+  }
+
+  std::optional<JsonValue> ParseArray() {
+    Consume('[');
+    JsonValue array = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) {
+      return array;
+    }
+    while (true) {
+      SkipWhitespace();
+      std::optional<JsonValue> element = ParseValue();
+      if (!element.has_value()) {
+        return std::nullopt;
+      }
+      array.Append(*std::move(element));
+      SkipWhitespace();
+      if (Consume(']')) {
+        return array;
+      }
+      if (!Consume(',')) {
+        return Fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::optional<JsonValue> ParseObject() {
+    Consume('{');
+    JsonValue object = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) {
+      return object;
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !ParseStringInto(key)) {
+        return Fail("expected string key in object");
+      }
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Fail("expected ':' after object key");
+      }
+      SkipWhitespace();
+      std::optional<JsonValue> value = ParseValue();
+      if (!value.has_value()) {
+        return std::nullopt;
+      }
+      object.Set(key, *std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) {
+        return object;
+      }
+      if (!Consume(',')) {
+        return Fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  static constexpr int kMaxDepth = 64;
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Get(const std::string& key) const {
+  if (!is_object()) {
+    return nullptr;
+  }
+  for (const auto& [name, value] : members_) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(const std::string& key, JsonValue value) {
+  if (kind_ != Kind::kObject) {
+    kind_ = Kind::kObject;
+  }
+  for (auto& [name, existing] : members_) {
+    if (name == key) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+}
+
+void JsonValue::Append(JsonValue value) {
+  if (kind_ != Kind::kArray) {
+    kind_ = Kind::kArray;
+  }
+  array_.push_back(std::move(value));
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  if (indent > 0) {
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void JsonValue::DumpTo(std::string& out, int indent, int depth) const {
+  const std::string newline = indent > 0 ? "\n" : "";
+  const std::string inner(indent > 0 ? static_cast<size_t>(indent * (depth + 1)) : 0, ' ');
+  const std::string closer(indent > 0 ? static_cast<size_t>(indent * depth) : 0, ' ');
+  const char* separator = indent > 0 ? ": " : ":";
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      out += NumberToString(number_);
+      break;
+    case Kind::kString:
+      out += JsonQuote(string_);
+      break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += "[" + newline;
+      for (size_t i = 0; i < array_.size(); ++i) {
+        out += inner;
+        array_[i].DumpTo(out, indent, depth + 1);
+        if (i + 1 < array_.size()) {
+          out += ",";
+        }
+        out += newline;
+      }
+      out += closer + "]";
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += "{" + newline;
+      for (size_t i = 0; i < members_.size(); ++i) {
+        out += inner + JsonQuote(members_[i].first) + separator;
+        members_[i].second.DumpTo(out, indent, depth + 1);
+        if (i + 1 < members_.size()) {
+          out += ",";
+        }
+        out += newline;
+      }
+      out += closer + "}";
+      break;
+    }
+  }
+}
+
+std::optional<JsonValue> JsonParse(const std::string& text, std::string* error) {
+  if (error != nullptr) {
+    error->clear();
+  }
+  return Parser(text, error).Run();
+}
+
+std::string JsonQuote(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace pad

@@ -1,0 +1,101 @@
+// A minimal JSON reader/writer for the bench baseline files.
+//
+// Scope: exactly what machine-readable bench output needs — the full value
+// model (null/bool/number/string/array/object), strict parsing that reports
+// errors instead of aborting, and deterministic serialization (object keys
+// in insertion order, shortest round-trippable numbers). Not a general
+// library: no comments, no NaN/Inf, no streaming.
+#ifndef ADPAD_SRC_COMMON_JSON_H_
+#define ADPAD_SRC_COMMON_JSON_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pad {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  explicit JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}
+  explicit JsonValue(double value) : kind_(Kind::kNumber), number_(value) {}
+  explicit JsonValue(int value) : kind_(Kind::kNumber), number_(value) {}
+  explicit JsonValue(int64_t value)
+      : kind_(Kind::kNumber), number_(static_cast<double>(value)) {}
+  explicit JsonValue(std::string value) : kind_(Kind::kString), string_(std::move(value)) {}
+  explicit JsonValue(const char* value) : kind_(Kind::kString), string_(value) {}
+
+  static JsonValue Array() {
+    JsonValue value;
+    value.kind_ = Kind::kArray;
+    return value;
+  }
+  static JsonValue Object() {
+    JsonValue value;
+    value.kind_ = Kind::kObject;
+    return value;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Typed accessors; callers check the kind first (the getters return the
+  // zero value on kind mismatch rather than aborting).
+  bool AsBool() const { return is_bool() && bool_; }
+  double AsNumber() const { return is_number() ? number_ : 0.0; }
+  const std::string& AsString() const {
+    static const std::string kEmpty;
+    return is_string() ? string_ : kEmpty;
+  }
+  const std::vector<JsonValue>& AsArray() const {
+    static const std::vector<JsonValue> kEmpty;
+    return is_array() ? array_ : kEmpty;
+  }
+
+  // Object access. Get returns nullptr when the key is absent or this is not
+  // an object. Set inserts or overwrites, preserving first-insertion order.
+  const JsonValue* Get(const std::string& key) const;
+  void Set(const std::string& key, JsonValue value);
+  const std::vector<std::pair<std::string, JsonValue>>& Members() const {
+    static const std::vector<std::pair<std::string, JsonValue>> kEmpty;
+    return is_object() ? members_ : kEmpty;
+  }
+
+  void Append(JsonValue value);
+
+  // Serializes this value. `indent` > 0 pretty-prints with that many spaces
+  // per level; 0 emits the compact single-line form.
+  std::string Dump(int indent = 0) const;
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+// Parses `text` as one JSON document (trailing whitespace allowed, anything
+// else after the value is an error). On failure returns nullopt and, when
+// `error` is non-null, a one-line message with the byte offset.
+std::optional<JsonValue> JsonParse(const std::string& text, std::string* error = nullptr);
+
+// Escapes `text` as a JSON string literal including the quotes.
+std::string JsonQuote(const std::string& text);
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_COMMON_JSON_H_

@@ -51,6 +51,9 @@ std::string ValidateConfig(const PadConfig& config) {
   if (config.population.num_segments < 1 || config.population.num_segments > kMaxSegments) {
     return "population.num_segments must be in [1, 32]";
   }
+  if (config.market_users < 0) {
+    return "market_users must be non-negative (0 = one market for the whole population)";
+  }
 
   // --- Policy knobs -------------------------------------------------------
   if (!(config.capacity_confidence > 0.0 && config.capacity_confidence < 1.0)) {

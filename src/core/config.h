@@ -99,6 +99,15 @@ struct PadConfig {
   // Days of trace used purely to train predictors before scoring starts.
   int warmup_days = 7;
 
+  // Semantic shard size for the streaming engine (core/shard_engine.h):
+  // users are partitioned into independent markets of at most this many
+  // clients, each with its own exchange, server, and a campaign stream
+  // scaled to its population share. 0 keeps the whole population in one
+  // market — exactly the monolithic RunComparison semantics. This is a
+  // *modeling* knob like num_users: it changes results. The execution knobs
+  // (shards, threads, max_resident_users) never do.
+  int64_t market_users = 0;
+
   uint64_t seed = 1234;
 
   // Derived: sale-epoch length (see pad_simulation.h). The epoch is the

@@ -1,6 +1,53 @@
 #include "src/core/metrics.h"
 
+#include <cmath>
+
+#include "src/common/check.h"
+
 namespace pad {
+
+void EnergyBreakdown::Merge(const EnergyBreakdown& other) {
+  radio.Merge(other.radio);
+  local_j += other.local_j;
+}
+
+void ServiceStats::Merge(const ServiceStats& other) {
+  slots += other.slots;
+  served_from_cache += other.served_from_cache;
+  fallback_fetches += other.fallback_fetches;
+  unfilled += other.unfilled;
+  expired_cache_drops += other.expired_cache_drops;
+}
+
+void BaselineResult::Merge(const BaselineResult& other) {
+  PAD_DCHECK(scored_days == 0.0 || other.scored_days == 0.0 ||
+             std::fabs(scored_days - other.scored_days) < 1e-9);
+  energy.Merge(other.energy);
+  ledger.Merge(other.ledger);
+  service.Merge(other.service);
+  if (scored_days == 0.0) {
+    scored_days = other.scored_days;
+  }
+}
+
+void PadRunResult::Merge(const PadRunResult& other) {
+  PAD_DCHECK(scored_days == 0.0 || other.scored_days == 0.0 ||
+             std::fabs(scored_days - other.scored_days) < 1e-9);
+  energy.Merge(other.energy);
+  ledger.Merge(other.ledger);
+  service.Merge(other.service);
+  if (scored_days == 0.0) {
+    scored_days = other.scored_days;
+  }
+  for (size_t i = 0; i < calibration.size(); ++i) {
+    calibration[i].planned += other.calibration[i].planned;
+    calibration[i].delivered += other.calibration[i].delivered;
+    calibration[i].sum_predicted += other.calibration[i].sum_predicted;
+  }
+  impressions_dispatched += other.impressions_dispatched;
+  impressions_sold += other.impressions_sold;
+  faults.Merge(other.faults);
+}
 
 void FaultStats::Merge(const FaultStats& other) {
   reports_dropped += other.reports_dropped;

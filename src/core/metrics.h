@@ -28,6 +28,9 @@ struct EnergyBreakdown {
   // energy (the 23% number).
   double AdShareOfComm() const;
   double AdShareOfTotal() const;
+
+  // Accumulates another population's energy (shard merge).
+  void Merge(const EnergyBreakdown& other);
 };
 
 // How ad slots got filled.
@@ -41,6 +44,8 @@ struct ServiceStats {
   double CacheHitRate() const {
     return slots > 0 ? static_cast<double>(served_from_cache) / static_cast<double>(slots) : 0.0;
   }
+
+  void Merge(const ServiceStats& other);
 };
 
 struct BaselineResult {
@@ -48,6 +53,10 @@ struct BaselineResult {
   LedgerTotals ledger;
   ServiceStats service;
   double scored_days = 0.0;
+
+  // Folds another shard's result into this one. Counters and energy sum;
+  // scored_days must agree (every shard scores the same horizon).
+  void Merge(const BaselineResult& other);
 };
 
 // What the fault-injection layer (core/faults.h) actually did to a PAD run.
@@ -106,6 +115,9 @@ struct PadRunResult {
                ? static_cast<double>(impressions_dispatched) / static_cast<double>(impressions_sold)
                : 0.0;
   }
+
+  // Folds another shard's result into this one (see BaselineResult::Merge).
+  void Merge(const PadRunResult& other);
 };
 
 // Paired baseline/PAD run on the same trace and campaign stream.

@@ -31,20 +31,21 @@ Population FilterPopulation(const Population& population, double t0) {
   return filtered;
 }
 
+PadConfig AlignInputsConfig(const PadConfig& config) {
+  PadConfig cfg = config;
+  cfg.population.num_apps = AppCatalog::TopFifteen().size();
+  cfg.campaigns.horizon_s = cfg.population.horizon_s;
+  cfg.campaigns.display_deadline_s = cfg.deadline_s;
+  cfg.campaigns.num_segments = cfg.population.num_segments;
+  return cfg;
+}
+
 SimInputs GenerateInputs(const PadConfig& config) {
   const std::string error = ValidateConfig(config);
   PAD_CHECK_MSG(error.empty(), error.c_str());
-  PadConfig cfg = config;  // Local copy to align derived fields.
-  AppCatalog catalog = AppCatalog::TopFifteen();
-  cfg.population.num_apps = catalog.size();
-
-  CampaignStreamConfig campaign_cfg = cfg.campaigns;
-  campaign_cfg.horizon_s = cfg.population.horizon_s;
-  campaign_cfg.display_deadline_s = cfg.deadline_s;
-  campaign_cfg.num_segments = cfg.population.num_segments;
-
-  SimInputs inputs{GeneratePopulation(cfg.population), std::move(catalog),
-                   GenerateCampaignStream(campaign_cfg)};
+  const PadConfig cfg = AlignInputsConfig(config);
+  SimInputs inputs{GeneratePopulation(cfg.population), AppCatalog::TopFifteen(),
+                   GenerateCampaignStream(cfg.campaigns)};
   return inputs;
 }
 

@@ -41,6 +41,13 @@ struct SimInputs {
   std::vector<Campaign> campaigns;
 };
 
+// Returns `config` with the derived generator fields aligned: the catalog
+// size is copied into the population, and the campaign stream inherits the
+// population horizon, the display deadline, and the segment count. Both the
+// monolithic GenerateInputs path and the shard engine go through this, so a
+// sharded run generates from exactly the inputs a monolithic run would.
+PadConfig AlignInputsConfig(const PadConfig& config);
+
 // Generates population + catalog + campaign stream from the config, aligning
 // the campaign deadline and horizon with the config's values.
 SimInputs GenerateInputs(const PadConfig& config);

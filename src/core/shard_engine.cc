@@ -1,0 +1,234 @@
+#include "src/core/shard_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "src/apps/app_profile.h"
+#include "src/common/check.h"
+#include "src/common/thread_pool.h"
+#include "src/core/event_log.h"
+#include "src/core/pad_simulation.h"
+#include "src/core/sweep.h"
+#include "src/trace/generator.h"
+
+namespace pad {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Counting admission gate over resident users. A lane acquires its next
+// market's population before generating it and releases after the market's
+// runs complete, so the sum of in-flight market sizes never exceeds the
+// budget. Capacity covers the largest market by validation, so the first
+// acquire against an idle gate always succeeds — no deadlock.
+class ResidencyGate {
+ public:
+  explicit ResidencyGate(int64_t capacity) : capacity_(capacity) {}
+
+  void Acquire(int64_t users) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    freed_.wait(lock, [&] { return capacity_ <= 0 || in_use_ + users <= capacity_; });
+    in_use_ += users;
+    peak_ = std::max(peak_, in_use_);
+  }
+
+  void Release(int64_t users) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      in_use_ -= users;
+    }
+    freed_.notify_all();
+  }
+
+  int64_t peak() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_;
+  }
+
+ private:
+  const int64_t capacity_;  // <= 0: unlimited (still tracks the peak).
+  mutable std::mutex mutex_;
+  std::condition_variable freed_;
+  int64_t in_use_ = 0;
+  int64_t peak_ = 0;
+};
+
+// The per-market slice of the simulation: the market's own client count and
+// a campaign stream scaled to its population share, with seeds decorrelated
+// per market. A single market keeps the config untouched so the engine is
+// bit-identical to the monolithic path.
+PadConfig MarketConfig(const PadConfig& aligned, int market, int64_t lo, int64_t hi,
+                       int64_t total_users, int num_markets) {
+  PadConfig config = aligned;
+  config.population.num_users = static_cast<int>(hi - lo);
+  if (num_markets > 1) {
+    uint64_t state =
+        aligned.campaigns.seed + 0xadc0de5ull * static_cast<uint64_t>(market + 1);
+    config.campaigns.seed = SplitMix64(state);
+    config.campaigns.arrivals_per_day = aligned.campaigns.arrivals_per_day *
+                                        static_cast<double>(hi - lo) /
+                                        static_cast<double>(total_users);
+  }
+  return config;
+}
+
+struct MarketResult {
+  BaselineResult baseline;
+  PadRunResult pad;
+  int64_t sessions = 0;
+  uint64_t pad_digest = 0;
+  uint64_t baseline_digest = 0;
+  uint64_t event_digest = 0;
+  double generate_seconds = 0.0;
+  double simulate_seconds = 0.0;
+};
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+std::vector<int64_t> MarketBoundaries(int64_t num_users, int64_t market_users) {
+  PAD_CHECK(num_users > 0 && market_users >= 0);
+  const int64_t block = market_users > 0 ? std::min(market_users, num_users) : num_users;
+  std::vector<int64_t> boundaries;
+  for (int64_t lo = 0; lo < num_users; lo += block) {
+    boundaries.push_back(lo);
+  }
+  boundaries.push_back(num_users);
+  return boundaries;
+}
+
+std::string ValidateShardOptions(const PadConfig& config, const ShardEngineOptions& options) {
+  if (const std::string error = ValidateConfig(config); !error.empty()) {
+    return error;
+  }
+  if (options.shards < 0 || options.threads < 0) {
+    return "shards and threads must be non-negative (0 = hardware)";
+  }
+  if (options.max_resident_users < 0) {
+    return "max_resident_users must be non-negative (0 = unlimited)";
+  }
+  if (options.max_resident_users > 0) {
+    const std::vector<int64_t> boundaries =
+        MarketBoundaries(config.population.num_users, config.market_users);
+    int64_t largest = 0;
+    for (size_t m = 0; m + 1 < boundaries.size(); ++m) {
+      largest = std::max(largest, boundaries[m + 1] - boundaries[m]);
+    }
+    if (options.max_resident_users < largest) {
+      return "max_resident_users is smaller than the largest market; raise the budget "
+             "or shrink market_users";
+    }
+  }
+  return "";
+}
+
+ShardedComparison RunShardedComparison(const PadConfig& config,
+                                       const ShardEngineOptions& options) {
+  const std::string error = ValidateShardOptions(config, options);
+  PAD_CHECK_MSG(error.empty(), error.c_str());
+
+  const PadConfig aligned = AlignInputsConfig(config);
+  const int64_t num_users = aligned.population.num_users;
+  const std::vector<int64_t> boundaries = MarketBoundaries(num_users, aligned.market_users);
+  const int num_markets = static_cast<int>(boundaries.size()) - 1;
+
+  const int lanes = std::max(
+      1, std::min(num_markets,
+                  options.shards <= 0 ? ThreadPool::HardwareThreads() : options.shards));
+
+  ResidencyGate gate(options.max_resident_users);
+  std::vector<MarketResult> results(static_cast<size_t>(num_markets));
+
+  // Each lane owns a contiguous market range and streams it through its own
+  // PopulationStream: one skip to the lane's first user, then strictly
+  // sequential generation, so the per-lane replay cost is O(num_users) total
+  // whatever the lane count.
+  ThreadPool pool(options.threads);
+  pool.ParallelFor(lanes, [&](int64_t lane) {
+    const int first = static_cast<int>(lane * num_markets / lanes);
+    const int last = static_cast<int>((lane + 1) * num_markets / lanes);
+    if (first == last) {
+      return;
+    }
+    PopulationStream stream(aligned.population);
+    stream.SkipUsers(boundaries[static_cast<size_t>(first)]);
+    for (int m = first; m < last; ++m) {
+      const int64_t lo = boundaries[static_cast<size_t>(m)];
+      const int64_t hi = boundaries[static_cast<size_t>(m) + 1];
+      gate.Acquire(hi - lo);
+      MarketResult& out = results[static_cast<size_t>(m)];
+
+      const auto generate_start = std::chrono::steady_clock::now();
+      const PadConfig market_config = MarketConfig(aligned, m, lo, hi, num_users, num_markets);
+      SimInputs inputs{stream.NextBlock(hi - lo), AppCatalog::TopFifteen(),
+                       GenerateCampaignStream(market_config.campaigns)};
+      for (const UserTrace& user : inputs.population.users) {
+        out.sessions += static_cast<int64_t>(user.sessions.size());
+      }
+      out.generate_seconds = SecondsSince(generate_start);
+
+      const auto simulate_start = std::chrono::steady_clock::now();
+      if (options.run_baseline) {
+        out.baseline = RunBaseline(market_config, inputs);
+        out.baseline_digest = MetricsDigest(out.baseline);
+      }
+      EventLog log;
+      out.pad = RunPad(market_config, inputs, options.event_digests ? &log : nullptr);
+      out.pad_digest = MetricsDigest(out.pad);
+      if (options.event_digests) {
+        out.event_digest = log.Digest();
+      }
+      out.simulate_seconds = SecondsSince(simulate_start);
+
+      // Free the market's traces (and its event log) before admitting more
+      // users: `inputs` goes out of scope here.
+      gate.Release(hi - lo);
+    }
+  });
+
+  // Fold in market-index order — never completion order — so the totals and
+  // every combined digest are independent of scheduling.
+  ShardedComparison merged;
+  merged.num_markets = num_markets;
+  merged.total_users = num_users;
+  merged.totals.baseline = std::move(results[0].baseline);
+  merged.totals.pad = std::move(results[0].pad);
+  for (size_t m = 1; m < results.size(); ++m) {
+    merged.totals.baseline.Merge(results[m].baseline);
+    merged.totals.pad.Merge(results[m].pad);
+  }
+  for (const MarketResult& result : results) {
+    merged.total_sessions += result.sessions;
+    merged.generate_seconds += result.generate_seconds;
+    merged.simulate_seconds += result.simulate_seconds;
+    merged.market_pad_digests.push_back(result.pad_digest);
+    if (options.run_baseline) {
+      merged.market_baseline_digests.push_back(result.baseline_digest);
+    }
+    if (options.event_digests) {
+      merged.market_event_digests.push_back(result.event_digest);
+    }
+  }
+  merged.combined_pad_digest = DigestCombine(merged.market_pad_digests);
+  if (options.run_baseline) {
+    merged.combined_baseline_digest = DigestCombine(merged.market_baseline_digests);
+  }
+  if (options.event_digests) {
+    merged.combined_event_digest = DigestCombine(merged.market_event_digests);
+  }
+  merged.peak_resident_users = gate.peak();
+  return merged;
+}
+
+}  // namespace pad

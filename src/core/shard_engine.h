@@ -1,0 +1,107 @@
+// Streaming, sharded simulation engine for population scales the monolithic
+// path cannot hold in memory.
+//
+// The monolithic runners (pad_simulation.h) materialize every session of
+// every user before the simulator starts, so resident memory — not CPU —
+// caps a run at a few thousand users. This engine partitions the population
+// into deterministic contiguous *markets* of `PadConfig::market_users`
+// clients, generates each market's traces lazily inside the shard worker
+// (trace/PopulationStream), runs the full PAD client/server loop per market,
+// frees the market, and folds the per-market results with an
+// order-independent reduction.
+//
+// Two kinds of knobs, and the contract that separates them:
+//
+//   * `PadConfig::market_users` is SEMANTIC. Each market is an independent
+//     ad market — its own exchange, server, and a campaign stream scaled to
+//     its population share — because overbooking pools risk across a server
+//     instance's clients (see the note in sweep.h), so the partition is part
+//     of the model, exactly as it is when a real ad network shards users
+//     across server instances. 0 keeps one market spanning the whole
+//     population: byte-identical to RunComparison, which the shard
+//     equivalence test enforces.
+//
+//   * ShardEngineOptions (shards, threads, max_resident_users) are
+//     EXECUTION-ONLY. For a fixed config, every metric and event-log digest
+//     is byte-identical for any shard count, thread count, and residency
+//     budget — including under fault injection. This extends the sweep
+//     engine's determinism contract and holds for the same reasons: every
+//     market job is hermetic (its own RNG streams replayed from the
+//     population seed, its own exchange/server/clients), and results are
+//     slotted by market index, never by completion order.
+//
+// tests/integration/shard_equivalence_test.cc enforces both halves.
+#ifndef ADPAD_SRC_CORE_SHARD_ENGINE_H_
+#define ADPAD_SRC_CORE_SHARD_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/metrics.h"
+
+namespace pad {
+
+struct ShardEngineOptions {
+  // Shard worker lanes. Each lane streams a contiguous range of markets
+  // through its own PopulationStream. 0 asks the hardware.
+  int shards = 1;
+  // Thread-pool size executing the lanes (lanes beyond this queue). 0 asks
+  // the hardware; 1 runs every lane inline on the caller.
+  int threads = 1;
+  // Upper bound on users resident (generated but not yet freed) across all
+  // lanes at any instant; an admission gate blocks a lane whose next market
+  // would exceed it. 0 = unlimited. Must be >= the largest market.
+  int64_t max_resident_users = 0;
+  // Run the paired baseline on each market too (the comparison headline).
+  // Off, totals.baseline stays zero and baseline digests are empty.
+  bool run_baseline = true;
+  // Record each market's PAD event log and keep its digest (the log itself
+  // is dropped with the market, so memory stays bounded).
+  bool event_digests = false;
+};
+
+struct ShardedComparison {
+  // Per-market results folded in market-index order. With one market this
+  // is bit-identical to RunComparison(config).
+  Comparison totals;
+
+  int num_markets = 0;
+  int64_t total_users = 0;
+  int64_t total_sessions = 0;   // Session count across all generated traces.
+  // High-water mark of concurrently resident users (admission-gate peak).
+  int64_t peak_resident_users = 0;
+
+  // Per-market digests, indexed by market, plus their DigestCombine
+  // reduction. baseline digests are empty when run_baseline is off; event
+  // digests are empty unless requested.
+  std::vector<uint64_t> market_pad_digests;
+  std::vector<uint64_t> market_baseline_digests;
+  std::vector<uint64_t> market_event_digests;
+  uint64_t combined_pad_digest = 0;
+  uint64_t combined_baseline_digest = 0;
+  uint64_t combined_event_digest = 0;
+
+  // CPU-time style accounting summed over markets (not wall clock): trace
+  // generation vs client/server simulation.
+  double generate_seconds = 0.0;
+  double simulate_seconds = 0.0;
+};
+
+// Checks the engine options against the config (budget at least one market,
+// sane counts). Empty string when valid, else a one-line description.
+std::string ValidateShardOptions(const PadConfig& config, const ShardEngineOptions& options);
+
+// Runs the streaming sharded simulation. PAD_CHECKs that config and options
+// validate; tools should call the validators first for a clean message.
+ShardedComparison RunShardedComparison(const PadConfig& config,
+                                       const ShardEngineOptions& options = {});
+
+// The market partition the engine uses, exposed for tests and tools:
+// market m covers users [boundaries[m], boundaries[m + 1]).
+std::vector<int64_t> MarketBoundaries(int64_t num_users, int64_t market_users);
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_CORE_SHARD_ENGINE_H_

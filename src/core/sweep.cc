@@ -148,4 +148,12 @@ uint64_t ComparisonDigest(const Comparison& comparison) {
   return digest.value();
 }
 
+uint64_t DigestCombine(std::span<const uint64_t> digests) {
+  Digest digest;
+  for (uint64_t value : digests) {
+    digest.Mix(static_cast<int64_t>(value));
+  }
+  return digest.value();
+}
+
 }  // namespace pad

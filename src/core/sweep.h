@@ -60,6 +60,13 @@ uint64_t MetricsDigest(const BaselineResult& result);
 uint64_t MetricsDigest(const PadRunResult& result);
 uint64_t ComparisonDigest(const Comparison& comparison);
 
+// Reduction over per-shard digests: mixes digests[i] into one FNV-1a hash in
+// index order. Because inputs are slotted by shard index (never by
+// completion order), the result is independent of scheduling — the shard
+// engine merges event-log and metric digests through this, the same way the
+// sweep engine slots per-job results.
+uint64_t DigestCombine(std::span<const uint64_t> digests);
+
 }  // namespace pad
 
 #endif  // ADPAD_SRC_CORE_SWEEP_H_

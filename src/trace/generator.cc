@@ -6,35 +6,55 @@
 #include "src/common/check.h"
 
 namespace pad {
+namespace {
 
-std::vector<UserParams> SampleUserParams(const PopulationConfig& config) {
-  PAD_CHECK(config.num_users > 0);
-  PAD_CHECK(config.num_apps > 0);
-  PAD_CHECK(!config.archetypes.empty());
-
-  Rng rng(config.seed);
+std::vector<double> ArchetypeMixture(const PopulationConfig& config) {
   std::vector<double> mixture;
   mixture.reserve(config.archetypes.size());
   for (const UserArchetype& archetype : config.archetypes) {
     mixture.push_back(archetype.weight);
   }
+  return mixture;
+}
 
+// One user's parameter draws, in the exact order SampleUserParams has always
+// made them. Every caller that walks the parameter stream goes through this
+// function so the draw sequence cannot fork between the batch and streaming
+// paths.
+UserParams SampleOneUser(const PopulationConfig& config, std::span<const double> mixture,
+                         int user, Rng& rng) {
+  UserParams params;
+  params.user_id = user;
+  params.archetype = rng.WeightedChoice(mixture);
+  const UserArchetype& archetype = config.archetypes[static_cast<size_t>(params.archetype)];
+  params.sessions_per_day =
+      archetype.sessions_per_day * rng.LogNormal(0.0, config.rate_spread_sigma);
+  params.duration_mu = archetype.session_duration_mu;
+  params.duration_sigma = archetype.session_duration_sigma;
+  params.phase_shift_h = rng.Normal(0.0, config.phase_jitter_h);
+  PAD_CHECK(config.num_segments >= 1);
+  params.segment = static_cast<int>(rng.UniformInt(0, config.num_segments - 1));
+  params.app_rank = rng.Permutation(config.num_apps);
+  return params;
+}
+
+void CheckPopulationConfig(const PopulationConfig& config) {
+  PAD_CHECK(config.num_users > 0);
+  PAD_CHECK(config.num_apps > 0);
+  PAD_CHECK(!config.archetypes.empty());
+}
+
+}  // namespace
+
+std::vector<UserParams> SampleUserParams(const PopulationConfig& config) {
+  CheckPopulationConfig(config);
+
+  Rng rng(config.seed);
+  const std::vector<double> mixture = ArchetypeMixture(config);
   std::vector<UserParams> users;
   users.reserve(static_cast<size_t>(config.num_users));
   for (int u = 0; u < config.num_users; ++u) {
-    UserParams params;
-    params.user_id = u;
-    params.archetype = rng.WeightedChoice(mixture);
-    const UserArchetype& archetype = config.archetypes[static_cast<size_t>(params.archetype)];
-    params.sessions_per_day =
-        archetype.sessions_per_day * rng.LogNormal(0.0, config.rate_spread_sigma);
-    params.duration_mu = archetype.session_duration_mu;
-    params.duration_sigma = archetype.session_duration_sigma;
-    params.phase_shift_h = rng.Normal(0.0, config.phase_jitter_h);
-    PAD_CHECK(config.num_segments >= 1);
-    params.segment = static_cast<int>(rng.UniformInt(0, config.num_segments - 1));
-    params.app_rank = rng.Permutation(config.num_apps);
-    users.push_back(std::move(params));
+    users.push_back(SampleOneUser(config, mixture, u, rng));
   }
   return users;
 }
@@ -83,21 +103,51 @@ UserTrace GenerateUserTrace(const PopulationConfig& config, const UserParams& pa
   return trace;
 }
 
-Population GeneratePopulation(const PopulationConfig& config) {
+PopulationStream::PopulationStream(const PopulationConfig& config)
+    : config_(config),
+      mixture_(ArchetypeMixture(config)),
+      param_rng_(config.seed),
+      // Each user gets a forked RNG so one user's draws never perturb
+      // another's (adding a user leaves existing users' traces unchanged).
+      fork_root_(config.seed ^ 0xda7a5eedull) {
+  CheckPopulationConfig(config);
   PAD_CHECK(config.horizon_s > 0.0);
-  const std::vector<UserParams> params = SampleUserParams(config);
+}
 
-  // Each user gets a forked RNG so one user's draws never perturb another's
-  // (adding a user leaves existing users' traces unchanged).
-  Rng root(config.seed ^ 0xda7a5eedull);
-  Population population;
-  population.horizon_s = config.horizon_s;
-  population.users.reserve(params.size());
-  for (const UserParams& user : params) {
-    Rng user_rng = root.Fork();
-    population.users.push_back(GenerateUserTrace(config, user, user_rng));
+UserParams PopulationStream::NextParams() {
+  PAD_CHECK_MSG(cursor_ < config_.num_users, "stream exhausted");
+  UserParams params =
+      SampleOneUser(config_, mixture_, static_cast<int>(cursor_), param_rng_);
+  ++cursor_;
+  return params;
+}
+
+void PopulationStream::SkipUsers(int64_t count) {
+  PAD_CHECK(count >= 0 && cursor_ + count <= config_.num_users);
+  for (int64_t i = 0; i < count; ++i) {
+    (void)NextParams();
+    // Consume the user's trace seed; its trace RNG is a fork, so skipping
+    // the trace itself leaves the root stream exactly one draw further.
+    (void)fork_root_.NextU64();
   }
-  return population;
+}
+
+Population PopulationStream::NextBlock(int64_t count) {
+  PAD_CHECK(count >= 0 && cursor_ + count <= config_.num_users);
+  Population block;
+  block.horizon_s = config_.horizon_s;
+  block.users.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    const UserParams params = NextParams();
+    Rng user_rng = fork_root_.Fork();
+    block.users.push_back(GenerateUserTrace(config_, params, user_rng));
+  }
+  return block;
+}
+
+Population GeneratePopulation(const PopulationConfig& config) {
+  PopulationStream stream(config);
+  return stream.NextBlock(config.num_users);
 }
 
 }  // namespace pad

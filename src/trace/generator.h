@@ -69,6 +69,44 @@ Population GeneratePopulation(const PopulationConfig& config);
 // generator and by focused tests).
 UserTrace GenerateUserTrace(const PopulationConfig& config, const UserParams& params, Rng& rng);
 
+// Streaming view of GeneratePopulation: yields users in id order without
+// materializing anyone else's sessions, so a shard worker can generate only
+// its own user range under a bounded memory budget.
+//
+// Determinism contract (enforced by tests/trace/population_stream_test.cc):
+// the trace of user u produced here is bit-identical to
+// GeneratePopulation(config).users[u] for every u and every skip/block
+// pattern. This holds because the generator keeps two independent RNG
+// streams — one for parameter draws, one for per-user trace seeds — and a
+// skipped user consumes exactly the draws it would have consumed when
+// materialized (its trace seed is drawn and discarded; its trace RNG is
+// never advanced because each trace runs on its own forked generator).
+class PopulationStream {
+ public:
+  explicit PopulationStream(const PopulationConfig& config);
+
+  // Next user id to be generated (users are yielded in id order).
+  int64_t cursor() const { return cursor_; }
+
+  // Advances past `count` users without generating their sessions. Cost is
+  // O(count) parameter draws — no session-level work and no allocation
+  // proportional to trace length.
+  void SkipUsers(int64_t count);
+
+  // Generates users [cursor, cursor + count), advancing the cursor.
+  // Requires cursor + count <= config.num_users.
+  Population NextBlock(int64_t count);
+
+ private:
+  UserParams NextParams();
+
+  PopulationConfig config_;
+  std::vector<double> mixture_;
+  Rng param_rng_;   // The SampleUserParams stream.
+  Rng fork_root_;   // The per-user trace-seed stream of GeneratePopulation.
+  int64_t cursor_ = 0;
+};
+
 }  // namespace pad
 
 #endif  // ADPAD_SRC_TRACE_GENERATOR_H_

@@ -1,0 +1,162 @@
+#include "src/common/bench_baseline.h"
+
+#include <gtest/gtest.h>
+
+namespace pad {
+namespace {
+
+std::vector<BenchRow> SampleRows() {
+  return {
+      {"population_scale", "users_per_s", 1200.0, "users/s", "users=2000"},
+      {"population_scale", "ad_energy_savings", 0.32, "fraction", "users=2000"},
+      {"population_scale", "sessions", 54000.0, "count", "users=2000"},
+  };
+}
+
+TEST(BenchBaselineTest, RowsRoundTripThroughJson) {
+  const std::vector<BenchRow> rows = SampleRows();
+  const std::string text = BenchRowsToJson(rows);
+
+  std::vector<BenchRow> parsed;
+  std::string error;
+  ASSERT_TRUE(BenchRowsFromJson(text, &parsed, &error)) << error;
+  ASSERT_EQ(rows.size(), parsed.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].bench, parsed[i].bench);
+    EXPECT_EQ(rows[i].metric, parsed[i].metric);
+    EXPECT_DOUBLE_EQ(rows[i].value, parsed[i].value);
+    EXPECT_EQ(rows[i].unit, parsed[i].unit);
+    EXPECT_EQ(rows[i].config, parsed[i].config);
+  }
+}
+
+TEST(BenchBaselineTest, MalformedJsonIsRejectedWithoutAborting) {
+  std::vector<BenchRow> rows;
+  std::string error;
+  // Not JSON at all.
+  EXPECT_FALSE(BenchRowsFromJson("not json", &rows, &error));
+  EXPECT_NE("", error);
+  // Valid JSON, wrong shape: top level must be an array.
+  EXPECT_FALSE(BenchRowsFromJson("{\"bench\": \"x\"}", &rows, &error));
+  // Row missing a required field.
+  EXPECT_FALSE(BenchRowsFromJson(R"([{"bench": "b", "metric": "m"}])", &rows, &error));
+  // value must be numeric.
+  EXPECT_FALSE(BenchRowsFromJson(
+      R"([{"bench": "b", "metric": "m", "value": "fast"}])", &rows, &error));
+  // unit/config are optional.
+  EXPECT_TRUE(BenchRowsFromJson(
+      R"([{"bench": "b", "metric": "m", "value": 1.0}])", &rows, &error))
+      << error;
+  ASSERT_EQ(1u, rows.size());
+  EXPECT_EQ("", rows[0].unit);
+}
+
+TEST(BenchBaselineTest, IdenticalRunsCompareClean) {
+  const std::vector<BenchDiff> diffs =
+      CompareBenchRows(SampleRows(), SampleRows(), BenchCompareOptions{});
+  ASSERT_EQ(3u, diffs.size());
+  for (const BenchDiff& diff : diffs) {
+    EXPECT_EQ(BenchDiffStatus::kOk, diff.status) << diff.metric;
+    EXPECT_DOUBLE_EQ(0.0, diff.rel_diff);
+  }
+  EXPECT_FALSE(BenchCompareFailed(diffs));
+}
+
+TEST(BenchBaselineTest, DriftBeyondToleranceFails) {
+  std::vector<BenchRow> candidate = SampleRows();
+  candidate[1].value = 0.25;  // ad_energy_savings 0.32 -> 0.25: ~22% off.
+
+  BenchCompareOptions options;
+  options.default_tolerance = 0.05;
+  const std::vector<BenchDiff> diffs = CompareBenchRows(SampleRows(), candidate, options);
+  ASSERT_EQ(3u, diffs.size());
+  EXPECT_EQ(BenchDiffStatus::kOk, diffs[0].status);
+  EXPECT_EQ(BenchDiffStatus::kDrifted, diffs[1].status);
+  EXPECT_NEAR(0.21875, diffs[1].rel_diff, 1e-9);  // |0.25-0.32|/0.32
+  EXPECT_TRUE(BenchCompareFailed(diffs));
+
+  // The same drift passes under a wider per-metric tolerance.
+  options.metric_tolerance["ad_energy_savings"] = 0.30;
+  const std::vector<BenchDiff> relaxed = CompareBenchRows(SampleRows(), candidate, options);
+  EXPECT_EQ(BenchDiffStatus::kOk, relaxed[1].status);
+  EXPECT_FALSE(BenchCompareFailed(relaxed));
+}
+
+TEST(BenchBaselineTest, MissingMetricFailsExtraDoesNot) {
+  std::vector<BenchRow> candidate = SampleRows();
+  candidate.erase(candidate.begin());  // users_per_s vanished from the run.
+  candidate.push_back({"population_scale", "peak_rss_mib", 300.0, "MiB", "users=2000"});
+
+  const std::vector<BenchDiff> diffs =
+      CompareBenchRows(SampleRows(), candidate, BenchCompareOptions{});
+  ASSERT_EQ(4u, diffs.size());
+  EXPECT_EQ(BenchDiffStatus::kMissing, diffs[0].status);
+  EXPECT_EQ(BenchDiffStatus::kExtra, diffs[3].status);
+  EXPECT_EQ("peak_rss_mib", diffs[3].metric);
+  EXPECT_TRUE(BenchCompareFailed(diffs));
+
+  // Extra alone is informational.
+  std::vector<BenchRow> extra_only = SampleRows();
+  extra_only.push_back({"population_scale", "peak_rss_mib", 300.0, "MiB", "users=2000"});
+  EXPECT_FALSE(
+      BenchCompareFailed(CompareBenchRows(SampleRows(), extra_only, BenchCompareOptions{})));
+}
+
+TEST(BenchBaselineTest, IgnoredMetricsNeverFail) {
+  std::vector<BenchRow> candidate = SampleRows();
+  candidate[0].value = 10.0;  // users_per_s collapsed 100x — but it's ignored.
+
+  BenchCompareOptions options;
+  options.ignore_metrics.insert("users_per_s");
+  const std::vector<BenchDiff> diffs = CompareBenchRows(SampleRows(), candidate, options);
+  EXPECT_EQ(BenchDiffStatus::kIgnored, diffs[0].status);
+  EXPECT_FALSE(BenchCompareFailed(diffs));
+}
+
+TEST(BenchBaselineTest, RowsMatchOnConfigToo) {
+  // Same metric under a different config is a different row: the baseline one
+  // goes missing and the candidate one is extra.
+  std::vector<BenchRow> candidate = {
+      {"population_scale", "users_per_s", 1200.0, "users/s", "users=4000"}};
+  const std::vector<BenchRow> baseline = {
+      {"population_scale", "users_per_s", 1200.0, "users/s", "users=2000"}};
+  const std::vector<BenchDiff> diffs =
+      CompareBenchRows(baseline, candidate, BenchCompareOptions{});
+  ASSERT_EQ(2u, diffs.size());
+  EXPECT_EQ(BenchDiffStatus::kMissing, diffs[0].status);
+  EXPECT_EQ(BenchDiffStatus::kExtra, diffs[1].status);
+}
+
+TEST(BenchBaselineTest, ConfigFilterComparesOnlyMatchingRows) {
+  // A baseline carrying two scales: the CI smoke config and a full-scale
+  // record. A smoke-scale candidate must be judged against only its own rows
+  // instead of failing on the full-scale ones as missing.
+  std::vector<BenchRow> baseline = SampleRows();
+  baseline.push_back({"population_scale", "users_per_s", 300.0, "users/s", "users=1000000"});
+  std::vector<BenchRow> candidate = SampleRows();
+
+  EXPECT_TRUE(
+      BenchCompareFailed(CompareBenchRows(baseline, candidate, BenchCompareOptions{})));
+
+  BenchCompareOptions options;
+  options.config_filter = "users=2000";
+  const std::vector<BenchDiff> diffs = CompareBenchRows(baseline, candidate, options);
+  ASSERT_EQ(3u, diffs.size());
+  EXPECT_FALSE(BenchCompareFailed(diffs));
+}
+
+TEST(BenchBaselineTest, ZeroValuesCompareWithoutDividingByZero) {
+  const std::vector<BenchRow> zero = {{"b", "m", 0.0, "", ""}};
+  const std::vector<BenchDiff> same = CompareBenchRows(zero, zero, BenchCompareOptions{});
+  EXPECT_EQ(BenchDiffStatus::kOk, same[0].status);
+  EXPECT_DOUBLE_EQ(0.0, same[0].rel_diff);
+
+  // 0 -> anything nonzero is a full-scale (rel_diff = 1) drift.
+  const std::vector<BenchRow> nonzero = {{"b", "m", 0.5, "", ""}};
+  const std::vector<BenchDiff> drift = CompareBenchRows(zero, nonzero, BenchCompareOptions{});
+  EXPECT_EQ(BenchDiffStatus::kDrifted, drift[0].status);
+  EXPECT_DOUBLE_EQ(1.0, drift[0].rel_diff);
+}
+
+}  // namespace
+}  // namespace pad

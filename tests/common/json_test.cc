@@ -1,0 +1,116 @@
+#include "src/common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace pad {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(JsonParse("null")->is_null());
+  EXPECT_TRUE(JsonParse("true")->AsBool());
+  EXPECT_FALSE(JsonParse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(42.0, JsonParse("42")->AsNumber());
+  EXPECT_DOUBLE_EQ(-2.5e3, JsonParse("-2.5e3")->AsNumber());
+  EXPECT_EQ("hi", JsonParse("\"hi\"")->AsString());
+  EXPECT_DOUBLE_EQ(0.0, JsonParse("  0 \n")->AsNumber());
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  const std::string text = R"({"rows": [{"v": 1.5, "ok": true}, {"v": 2}], "n": null})";
+  std::string error;
+  const auto doc = JsonParse(text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_TRUE(doc->is_object());
+  const JsonValue* rows = doc->Get("rows");
+  ASSERT_NE(nullptr, rows);
+  ASSERT_EQ(2u, rows->AsArray().size());
+  EXPECT_DOUBLE_EQ(1.5, rows->AsArray()[0].Get("v")->AsNumber());
+  EXPECT_TRUE(rows->AsArray()[0].Get("ok")->AsBool());
+  EXPECT_DOUBLE_EQ(2.0, rows->AsArray()[1].Get("v")->AsNumber());
+  ASSERT_NE(nullptr, doc->Get("n"));
+  EXPECT_TRUE(doc->Get("n")->is_null());
+  EXPECT_EQ(nullptr, doc->Get("absent"));
+}
+
+TEST(JsonTest, StringEscapesRoundTrip) {
+  const std::string raw = "line\nbreak \"quote\" back\\slash \t end";
+  const std::string quoted = JsonQuote(raw);
+  const auto parsed = JsonParse(quoted);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(raw, parsed->AsString());
+}
+
+TEST(JsonTest, UnicodeEscapesDecodeToUtf8) {
+  // BMP escape and a surrogate pair (U+1F600).
+  const auto bmp = JsonParse("\"\\u00e9\"");
+  ASSERT_TRUE(bmp.has_value());
+  EXPECT_EQ("\xc3\xa9", bmp->AsString());
+  const auto astral = JsonParse("\"\\ud83d\\ude00\"");
+  ASSERT_TRUE(astral.has_value());
+  EXPECT_EQ("\xf0\x9f\x98\x80", astral->AsString());
+  // A lone surrogate is malformed.
+  std::string error;
+  EXPECT_FALSE(JsonParse("\"\\ud83d\"", &error).has_value());
+  EXPECT_NE("", error);
+}
+
+TEST(JsonTest, MalformedInputsFailWithoutAborting) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\":}", "tru", "1.2.3", "\"unterminated",
+                          "[1] trailing", "{\"a\" 1}", "nan", "01"}) {
+    std::string error;
+    EXPECT_FALSE(JsonParse(bad, &error).has_value()) << bad;
+    EXPECT_NE("", error) << bad;
+  }
+}
+
+TEST(JsonTest, DeepNestingIsRejectedNotOverflowed) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  std::string error;
+  EXPECT_FALSE(JsonParse(deep, &error).has_value());
+  EXPECT_NE("", error);
+}
+
+TEST(JsonTest, DumpRoundTripsValuesExactly) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("name", JsonValue("bench"));
+  obj.Set("value", JsonValue(1234.5678));
+  obj.Set("count", JsonValue(int64_t{123456789}));
+  obj.Set("flag", JsonValue(true));
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue(0.1));
+  arr.Append(JsonValue());
+  obj.Set("xs", std::move(arr));
+
+  for (const int indent : {0, 2}) {
+    const std::string text = obj.Dump(indent);
+    const auto parsed = JsonParse(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ("bench", parsed->Get("name")->AsString());
+    EXPECT_DOUBLE_EQ(1234.5678, parsed->Get("value")->AsNumber());
+    EXPECT_DOUBLE_EQ(123456789.0, parsed->Get("count")->AsNumber());
+    EXPECT_TRUE(parsed->Get("flag")->AsBool());
+    EXPECT_DOUBLE_EQ(0.1, parsed->Get("xs")->AsArray()[0].AsNumber());
+    EXPECT_TRUE(parsed->Get("xs")->AsArray()[1].is_null());
+  }
+}
+
+TEST(JsonTest, IntegralNumbersSerializeWithoutExponent) {
+  EXPECT_EQ("42", JsonValue(42).Dump());
+  EXPECT_EQ("-7", JsonValue(-7).Dump());
+  EXPECT_EQ("1000000", JsonValue(1000000).Dump());
+}
+
+TEST(JsonTest, ObjectKeysKeepInsertionOrder) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("zeta", JsonValue(1));
+  obj.Set("alpha", JsonValue(2));
+  obj.Set("zeta", JsonValue(3));  // Overwrite must not reorder.
+  const std::string text = obj.Dump();
+  EXPECT_LT(text.find("zeta"), text.find("alpha"));
+  EXPECT_DOUBLE_EQ(3.0, obj.Get("zeta")->AsNumber());
+  ASSERT_EQ(2u, obj.Members().size());
+}
+
+}  // namespace
+}  // namespace pad

@@ -1,0 +1,176 @@
+// The shard engine's two-sided determinism contract (src/core/shard_engine.h):
+//
+//   1. market_users = 0 (one market) is byte-identical to the monolithic
+//      RunComparison path — metrics and event-log digests both.
+//   2. For a fixed config (any market_users), results are byte-identical for
+//      every shard count, thread count, and residency budget — including
+//      under fault injection.
+//
+// Digests are FNV-1a over every metrics field (sweep.h), so "digest equal"
+// here means "bit-identical", not "approximately equal".
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/event_log.h"
+#include "src/core/pad_simulation.h"
+#include "src/core/shard_engine.h"
+#include "src/core/sweep.h"
+
+namespace pad {
+namespace {
+
+// 300 users, 9 trace days (7 warmup + 2 scored): big enough for several
+// markets, small enough to run many engine configurations.
+PadConfig TestConfig() {
+  PadConfig config;
+  config.population.num_users = 300;
+  config.population.horizon_s = 9.0 * kDay;
+  config.warmup_days = 7;
+  config.campaigns.arrivals_per_day = 450.0;
+  return config;
+}
+
+FaultConfig TestFaults() {
+  FaultConfig faults = FaultConfig::Uniform(0.05);
+  faults.report_delay_rate = 0.025;
+  return faults;
+}
+
+struct MonolithicRun {
+  uint64_t baseline_digest = 0;
+  uint64_t pad_digest = 0;
+  uint64_t event_digest = 0;
+};
+
+MonolithicRun RunMonolithic(const PadConfig& config) {
+  const SimInputs inputs = GenerateInputs(config);
+  MonolithicRun run;
+  run.baseline_digest = MetricsDigest(RunBaseline(config, inputs));
+  EventLog log;
+  run.pad_digest = MetricsDigest(RunPad(config, inputs, &log));
+  run.event_digest = log.Digest();
+  return run;
+}
+
+void ExpectSameShardedResult(const ShardedComparison& expected,
+                             const ShardedComparison& actual) {
+  EXPECT_EQ(expected.num_markets, actual.num_markets);
+  EXPECT_EQ(expected.total_users, actual.total_users);
+  EXPECT_EQ(expected.total_sessions, actual.total_sessions);
+  EXPECT_EQ(expected.market_pad_digests, actual.market_pad_digests);
+  EXPECT_EQ(expected.market_baseline_digests, actual.market_baseline_digests);
+  EXPECT_EQ(expected.market_event_digests, actual.market_event_digests);
+  EXPECT_EQ(expected.combined_pad_digest, actual.combined_pad_digest);
+  EXPECT_EQ(expected.combined_baseline_digest, actual.combined_baseline_digest);
+  EXPECT_EQ(expected.combined_event_digest, actual.combined_event_digest);
+  // The folded totals too, field by field through the metrics digest.
+  EXPECT_EQ(MetricsDigest(expected.totals.pad), MetricsDigest(actual.totals.pad));
+  EXPECT_EQ(MetricsDigest(expected.totals.baseline), MetricsDigest(actual.totals.baseline));
+}
+
+void CheckMonolithicEquality(PadConfig config) {
+  config.market_users = 0;
+  const MonolithicRun mono = RunMonolithic(config);
+  for (const int shards : {1, 32}) {
+    for (const int threads : {1, 4}) {
+      ShardEngineOptions options;
+      options.shards = shards;
+      options.threads = threads;
+      options.event_digests = true;
+      const ShardedComparison sharded = RunShardedComparison(config, options);
+      ASSERT_EQ(1, sharded.num_markets);
+      // Bit-identical run: the single market IS the monolithic run.
+      EXPECT_EQ(mono.pad_digest, MetricsDigest(sharded.totals.pad))
+          << "shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(mono.baseline_digest, MetricsDigest(sharded.totals.baseline));
+      EXPECT_EQ(mono.pad_digest, sharded.market_pad_digests.at(0));
+      EXPECT_EQ(mono.event_digest, sharded.market_event_digests.at(0));
+      // The combined reduction wraps the per-market digests, so compare it
+      // against the identically wrapped monolithic digest.
+      const std::vector<uint64_t> wrapped_pad = {mono.pad_digest};
+      const std::vector<uint64_t> wrapped_events = {mono.event_digest};
+      EXPECT_EQ(DigestCombine(wrapped_pad), sharded.combined_pad_digest);
+      EXPECT_EQ(DigestCombine(wrapped_events), sharded.combined_event_digest);
+    }
+  }
+}
+
+void CheckExecutionKnobInvariance(PadConfig config, const std::vector<int>& shard_counts) {
+  config.market_users = 50;
+  ShardEngineOptions reference_options;
+  reference_options.shards = 1;
+  reference_options.threads = 1;
+  reference_options.event_digests = true;
+  const ShardedComparison reference = RunShardedComparison(config, reference_options);
+  ASSERT_EQ(6, reference.num_markets);
+
+  for (const int shards : shard_counts) {
+    for (const int threads : {1, 4}) {
+      ShardEngineOptions options;
+      options.shards = shards;
+      options.threads = threads;
+      options.event_digests = true;
+      // A tight budget exercises the admission gate on the same run.
+      options.max_resident_users = threads > 1 ? 100 : 0;
+      const ShardedComparison run = RunShardedComparison(config, options);
+      SCOPED_TRACE("shards=" + std::to_string(shards) + " threads=" + std::to_string(threads));
+      ExpectSameShardedResult(reference, run);
+      if (options.max_resident_users > 0) {
+        EXPECT_LE(run.peak_resident_users, options.max_resident_users);
+      }
+    }
+  }
+}
+
+TEST(ShardEquivalenceTest, SingleMarketMatchesMonolithicPath) {
+  CheckMonolithicEquality(TestConfig());
+}
+
+TEST(ShardEquivalenceTest, SingleMarketMatchesMonolithicPathUnderFaults) {
+  PadConfig config = TestConfig();
+  config.faults = TestFaults();
+  CheckMonolithicEquality(config);
+}
+
+TEST(ShardEquivalenceTest, ShardAndThreadCountsNeverChangeResults) {
+  CheckExecutionKnobInvariance(TestConfig(), {2, 7, 32});
+}
+
+TEST(ShardEquivalenceTest, ShardAndThreadCountsNeverChangeResultsUnderFaults) {
+  PadConfig config = TestConfig();
+  config.faults = TestFaults();
+  CheckExecutionKnobInvariance(config, {7, 32});
+}
+
+TEST(ShardEquivalenceTest, MarketBoundariesPartitionContiguously) {
+  EXPECT_EQ((std::vector<int64_t>{0, 300}), MarketBoundaries(300, 0));
+  EXPECT_EQ((std::vector<int64_t>{0, 300}), MarketBoundaries(300, 400));
+  EXPECT_EQ((std::vector<int64_t>{0, 100, 200, 300}), MarketBoundaries(300, 100));
+  EXPECT_EQ((std::vector<int64_t>{0, 130, 260, 300}), MarketBoundaries(300, 130));
+  EXPECT_EQ((std::vector<int64_t>{0, 1}), MarketBoundaries(1, 1));
+}
+
+TEST(ShardEquivalenceTest, ValidateShardOptionsRejectsBadKnobs) {
+  const PadConfig config = TestConfig();
+  EXPECT_EQ("", ValidateShardOptions(config, {}));
+
+  ShardEngineOptions negative;
+  negative.shards = -1;
+  EXPECT_NE("", ValidateShardOptions(config, negative));
+
+  // Budget below the largest market would deadlock the admission gate, so
+  // it must be rejected up front.
+  ShardEngineOptions tight;
+  tight.max_resident_users = 10;
+  EXPECT_NE("", ValidateShardOptions(config, tight));
+
+  PadConfig marketed = config;
+  marketed.market_users = 50;
+  ShardEngineOptions exact;
+  exact.max_resident_users = 50;
+  EXPECT_EQ("", ValidateShardOptions(marketed, exact));
+}
+
+}  // namespace
+}  // namespace pad

@@ -1,0 +1,126 @@
+// PopulationStream's determinism contract: lazily generated users are
+// bit-identical to the same users inside a full GeneratePopulation, for any
+// skip/block pattern. The shard engine's byte-identity guarantee rests
+// entirely on this property.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/trace/generator.h"
+
+namespace pad {
+namespace {
+
+// Bitwise comparison: doubles compared by value equality on purpose — the
+// contract is "same draws, same results", not "close".
+void ExpectSameTrace(const UserTrace& expected, const UserTrace& actual) {
+  ASSERT_EQ(expected.user_id, actual.user_id);
+  EXPECT_EQ(expected.segment, actual.segment);
+  ASSERT_EQ(expected.sessions.size(), actual.sessions.size());
+  for (size_t s = 0; s < expected.sessions.size(); ++s) {
+    const Session& want = expected.sessions[s];
+    const Session& got = actual.sessions[s];
+    EXPECT_EQ(want.user_id, got.user_id);
+    EXPECT_EQ(want.app_id, got.app_id);
+    EXPECT_EQ(want.start_time, got.start_time);
+    EXPECT_EQ(want.duration_s, got.duration_s);
+  }
+}
+
+TEST(PopulationStreamTest, FullStreamMatchesGeneratePopulation) {
+  PopulationConfig config;
+  config.num_users = 40;
+  config.horizon_s = 7.0 * kDay;
+  const Population expected = GeneratePopulation(config);
+
+  PopulationStream stream(config);
+  const Population streamed = stream.NextBlock(config.num_users);
+  EXPECT_EQ(expected.horizon_s, streamed.horizon_s);
+  ASSERT_EQ(expected.users.size(), streamed.users.size());
+  for (size_t u = 0; u < expected.users.size(); ++u) {
+    ExpectSameTrace(expected.users[u], streamed.users[u]);
+  }
+}
+
+TEST(PopulationStreamTest, ChunkedBlocksMatchOneBlock) {
+  PopulationConfig config;
+  config.num_users = 37;  // Deliberately not divisible by the chunk size.
+  config.horizon_s = 5.0 * kDay;
+  config.seed = 99;
+  const Population expected = GeneratePopulation(config);
+
+  PopulationStream stream(config);
+  int64_t produced = 0;
+  for (const int64_t chunk : {5ll, 11ll, 1ll, 13ll, 7ll}) {
+    const Population block = stream.NextBlock(chunk);
+    ASSERT_EQ(static_cast<size_t>(chunk), block.users.size());
+    for (int64_t i = 0; i < chunk; ++i) {
+      ExpectSameTrace(expected.users[static_cast<size_t>(produced + i)],
+                      block.users[static_cast<size_t>(i)]);
+    }
+    produced += chunk;
+    EXPECT_EQ(produced, stream.cursor());
+  }
+  EXPECT_EQ(config.num_users, produced);
+}
+
+// The property the shard engine leans on: skip straight to any user and get
+// exactly the trace the monolithic generator would have produced, across 100
+// random (config, user) draws.
+TEST(PopulationStreamTest, RandomSkipsAreBitIdentical) {
+  Rng meta(0x5eedf00dull);
+  for (int round = 0; round < 20; ++round) {
+    PopulationConfig config;
+    config.num_users = static_cast<int>(meta.UniformInt(10, 60));
+    config.horizon_s = static_cast<double>(meta.UniformInt(3, 10)) * kDay;
+    config.num_segments = static_cast<int>(meta.UniformInt(1, 5));
+    config.day_noise_sigma = 0.2 + 0.3 * meta.NextDouble();
+    config.seed = meta.NextU64();
+    const Population expected = GeneratePopulation(config);
+
+    for (int pick = 0; pick < 5; ++pick) {
+      const int64_t user = meta.UniformInt(0, config.num_users - 1);
+      PopulationStream stream(config);
+      stream.SkipUsers(user);
+      EXPECT_EQ(user, stream.cursor());
+      const Population block = stream.NextBlock(1);
+      ASSERT_EQ(1u, block.users.size());
+      ExpectSameTrace(expected.users[static_cast<size_t>(user)], block.users[0]);
+    }
+  }
+}
+
+TEST(PopulationStreamTest, SkipThenStreamRemainderMatches) {
+  PopulationConfig config;
+  config.num_users = 60;
+  config.horizon_s = 6.0 * kDay;
+  config.seed = 7;
+  const Population expected = GeneratePopulation(config);
+
+  PopulationStream stream(config);
+  stream.SkipUsers(23);
+  const Population tail = stream.NextBlock(config.num_users - 23);
+  ASSERT_EQ(static_cast<size_t>(config.num_users - 23), tail.users.size());
+  for (size_t i = 0; i < tail.users.size(); ++i) {
+    ExpectSameTrace(expected.users[23 + i], tail.users[i]);
+  }
+}
+
+TEST(PopulationStreamTest, ParamsMatchSampleUserParams) {
+  PopulationConfig config;
+  config.num_users = 25;
+  config.seed = 1234;
+  const std::vector<UserParams> expected = SampleUserParams(config);
+  // Streaming the whole population draws the same parameter stream, so
+  // mean rates must line up user by user through the generated traces'
+  // metadata — checked indirectly via segment ids, which come from params.
+  PopulationStream stream(config);
+  const Population block = stream.NextBlock(config.num_users);
+  ASSERT_EQ(expected.size(), block.users.size());
+  for (size_t u = 0; u < expected.size(); ++u) {
+    EXPECT_EQ(expected[u].segment, block.users[u].segment);
+    EXPECT_EQ(expected[u].user_id, block.users[u].user_id);
+  }
+}
+
+}  // namespace
+}  // namespace pad

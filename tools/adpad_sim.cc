@@ -25,6 +25,13 @@
 //   mode=compare|pad|baseline               what to run
 //   threads=N                               sweep/run concurrency (0 = hw);
 //                                           results identical for any N
+//   market_users=N                          partition users into independent
+//                                           markets of N (semantic; 0 = one
+//                                           market = monolithic semantics)
+//   shards=N                                streaming engine worker lanes
+//                                           (execution-only; 0 = hw)
+//   max_resident_users=N                    resident-memory budget for the
+//                                           streaming engine (0 = unlimited)
 //   sweep_users=a,b,c                       paired run per population size,
 //                                           fanned across `threads`
 //   csv_out=<path>                          append a machine-readable row
@@ -39,6 +46,7 @@
 #include "src/common/table.h"
 #include "src/common/thread_pool.h"
 #include "src/core/pad_simulation.h"
+#include "src/core/shard_engine.h"
 #include "src/core/sweep.h"
 #include "src/trace/trace_io.h"
 
@@ -134,6 +142,7 @@ int RunTool(const Options& options) {
   config.campaigns.capped_fraction = options.GetDouble("capped_fraction", 0.0);
   config.campaigns.budgeted_fraction = options.GetDouble("budgeted_fraction", 0.0);
   config.wifi.enabled = options.GetBool("wifi_offload", false);
+  config.market_users = options.GetInt("market_users", 0);
 
   const double fault_rate = options.GetDouble("fault_rate", -1.0);
   if (fault_rate >= 0.0) {
@@ -189,6 +198,12 @@ int RunTool(const Options& options) {
   const std::string label = options.GetString("label", "run");
   const int threads = options.GetInt("threads", 1);
   const std::string sweep_users = options.GetString("sweep_users", "");
+  const bool use_shard_engine =
+      options.Has("shards") || options.Has("max_resident_users") || config.market_users > 0;
+  ShardEngineOptions shard_options;
+  shard_options.shards = options.GetInt("shards", 1);
+  shard_options.threads = threads;
+  shard_options.max_resident_users = options.GetInt("max_resident_users", 0);
 
   for (const std::string& key : options.UnusedKeys()) {
     std::cerr << "warning: unknown option '" << key << "' ignored\n";
@@ -209,6 +224,62 @@ int RunTool(const Options& options) {
     }
     return RunUserSweep(config, ParseIntList(sweep_users), options.Has("arrivals_per_day"),
                         sweep);
+  }
+
+  // Streaming sharded engine: lazy per-market generation under a resident
+  // budget, identical results for any shards/threads/max_resident_users.
+  if (use_shard_engine) {
+    if (!trace_in.empty()) {
+      std::cerr << "the streaming engine generates traces lazily; drop trace_in\n";
+      return 1;
+    }
+    if (!events_out.empty()) {
+      std::cerr << "the streaming engine keeps only event-log digests; drop events_out\n";
+      return 1;
+    }
+    if (mode != "compare" && mode != "pad") {
+      std::cerr << "the streaming engine runs mode=compare or mode=pad\n";
+      return 1;
+    }
+    shard_options.run_baseline = mode == "compare";
+    if (const std::string err = ValidateShardOptions(config, shard_options); !err.empty()) {
+      std::cerr << "adpad_sim: invalid shard options: " << err << "\n";
+      return 1;
+    }
+    std::cout << "running streaming '" << mode << "': " << config.population.num_users
+              << " users, market_users=" << config.market_users
+              << ", shards=" << shard_options.shards << ", threads=" << threads
+              << ", max_resident_users=" << shard_options.max_resident_users << "\n";
+    const ShardedComparison sharded = RunShardedComparison(config, shard_options);
+    std::cout << "markets=" << sharded.num_markets
+              << " sessions=" << sharded.total_sessions
+              << " peak_resident_users=" << sharded.peak_resident_users
+              << " generate_s=" << FormatDouble(sharded.generate_seconds, 2)
+              << " simulate_s=" << FormatDouble(sharded.simulate_seconds, 2) << "\n";
+
+    TextTable table({"metric", "baseline", "pad"});
+    const BaselineResult& sb = sharded.totals.baseline;
+    const PadRunResult& sp = sharded.totals.pad;
+    auto scell = [&](bool present, double value, int precision) {
+      return present ? FormatDouble(value, precision) : std::string("-");
+    };
+    const bool with_baseline = shard_options.run_baseline;
+    table.AddRow({"ad energy (kJ)", scell(with_baseline, sb.energy.AdEnergyJ() / 1000.0, 1),
+                  FormatDouble(sp.energy.AdEnergyJ() / 1000.0, 1)});
+    table.AddRow({"billed revenue ($)", scell(with_baseline, sb.ledger.billed_revenue, 2),
+                  FormatDouble(sp.ledger.billed_revenue, 2)});
+    table.AddRow({"SLA violation rate", scell(with_baseline, sb.ledger.SlaViolationRate(), 4),
+                  FormatDouble(sp.ledger.SlaViolationRate(), 4)});
+    table.AddRow({"cache hit rate", "-", FormatDouble(sp.service.CacheHitRate(), 4)});
+    table.AddRow({"mean replication", "-", FormatDouble(sp.MeanReplication(), 2)});
+    table.Print(std::cout);
+    if (with_baseline) {
+      std::cout << "\nad energy savings:   "
+                << FormatDouble(100.0 * sharded.totals.AdEnergySavings(), 1) << "%\n"
+                << "revenue vs baseline: "
+                << FormatDouble(100.0 * sharded.totals.RevenueRatio(), 1) << "%\n";
+    }
+    return 0;
   }
 
   // Build inputs, optionally around an external trace.
