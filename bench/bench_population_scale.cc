@@ -15,9 +15,14 @@
 //
 //   $ bench_population_scale --scale_users 1000000 --market_users 2000 \
 //       --max_resident_users 20000 --days 9 --json BENCH_population_scale.json
+//
+// `--checkpoint_overhead` additionally repeats the run with the crash-recovery
+// journal (src/core/checkpoint.h) enabled and reports wall_on/wall_off as the
+// `checkpoint_overhead` metric, asserting the journaled run's digests match.
 #include <sys/resource.h>
 
 #include <chrono>
+#include <cstdio>
 
 #include "bench/bench_util.h"
 #include "src/core/shard_engine.h"
@@ -58,6 +63,10 @@ struct ScaleOptions {
   int threads = 1;
   int64_t max_resident_users = 20000;
   double days = 9.0;  // 7 warmup + 2 scored keeps 1M users tractable.
+  // --checkpoint_overhead: repeat the run with the crash-recovery journal
+  // enabled (fsync per market) and report wall_on/wall_off. Off by default
+  // because it doubles the bench time at full scale.
+  bool measure_checkpoint = false;
 };
 
 ScaleOptions ScaleOptionsFromArgv(int argc, char** argv) {
@@ -76,6 +85,9 @@ ScaleOptions ScaleOptionsFromArgv(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--days") == 0 && i + 1 < argc) {
       options.days = std::atof(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--checkpoint_overhead") == 0) {
+      options.measure_checkpoint = true;
     }
   }
   return options;
@@ -137,6 +149,40 @@ int RunScaleCeiling(const ScaleOptions& scale, const SweepOptions& sweep,
            label);
   json.Add("users_per_s", users_per_s, "users/s", label);
   json.Add("peak_rss_mib", rss_mib, "MiB", label);
+
+  if (scale.measure_checkpoint) {
+    const char* tmpdir = std::getenv("TMPDIR");
+    const std::string journal = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+                                "/bench_population_scale.ckpt";
+    std::remove(journal.c_str());
+    ShardEngineOptions journaled = options;
+    journaled.checkpoint_path = journal;
+    journaled.checkpoint_fsync = true;
+
+    const auto ck_start = std::chrono::steady_clock::now();
+    const StatusOr<ShardedComparison> ck_result = RunShardedResumable(config, journaled);
+    const double ck_wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - ck_start).count();
+    if (!ck_result.ok()) {
+      std::cerr << "bench_population_scale: checkpointed run failed: "
+                << ck_result.status().ToString() << "\n";
+      return ExitCodeFor(ck_result.status());
+    }
+    // Journaling must never change the numbers, only the wall clock.
+    if (ck_result->combined_pad_digest != result.combined_pad_digest) {
+      std::cerr << "bench_population_scale: checkpointed run diverged from plain run\n";
+      return ExitCodeFor(Status::Internal("digest mismatch with journaling enabled"));
+    }
+    std::remove(journal.c_str());
+
+    const double overhead = ck_wall_s / wall_s;
+    TextTable ck_table({"metric", "value"});
+    ck_table.AddRow({"wall time (journal on)", FormatDouble(ck_wall_s, 1) + " s"});
+    ck_table.AddRow({"wall time (journal off)", FormatDouble(wall_s, 1) + " s"});
+    ck_table.AddRow({"checkpoint overhead", FormatDouble(overhead, 3) + "x"});
+    ck_table.Print(std::cout);
+    json.Add("checkpoint_overhead", overhead, "ratio", label);
+  }
   return 0;
 }
 

@@ -116,4 +116,19 @@ CsvTable ReadCsvFile(const std::string& path) {
   return ParseCsv(buffer.str());
 }
 
+StatusOr<CsvTable> LoadCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::NotFound("cannot open CSV file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  std::optional<CsvTable> table = TryParseCsv(buffer.str(), &error);
+  if (!table.has_value()) {
+    return Status::InvalidArgument("CSV file '" + path + "': " + error);
+  }
+  return *std::move(table);
+}
+
 }  // namespace pad

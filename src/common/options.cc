@@ -4,8 +4,6 @@
 #include <fstream>
 #include <sstream>
 
-#include "src/common/check.h"
-
 namespace pad {
 namespace {
 
@@ -125,14 +123,20 @@ double Options::GetDouble(const std::string& key, double fallback) const {
   }
   char* end = nullptr;
   const double value = std::strtod(it->second.c_str(), &end);
-  PAD_CHECK_MSG(end != it->second.c_str() && *end == '\0', "option is not a number");
+  if (end == it->second.c_str() || *end != '\0') {
+    RecordError(key, "is not a number");
+    return fallback;
+  }
   return value;
 }
 
 int Options::GetInt(const std::string& key, int fallback) const {
   const double value = GetDouble(key, static_cast<double>(fallback));
   const int as_int = static_cast<int>(value);
-  PAD_CHECK_MSG(static_cast<double>(as_int) == value, "option is not an integer");
+  if (static_cast<double>(as_int) != value) {
+    RecordError(key, "is not an integer");
+    return fallback;
+  }
   return as_int;
 }
 
@@ -149,8 +153,14 @@ bool Options::GetBool(const std::string& key, bool fallback) const {
   if (value == "false" || value == "0" || value == "no" || value == "off") {
     return false;
   }
-  PAD_CHECK_MSG(false, "option is not a boolean");
+  RecordError(key, "is not a boolean");
   return fallback;
+}
+
+void Options::RecordError(const std::string& key, const char* what) const {
+  if (error_.empty()) {
+    error_ = "option '" + key + "' " + what + " (value '" + values_.at(key) + "')";
+  }
 }
 
 std::vector<std::string> Options::UnusedKeys() const {

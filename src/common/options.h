@@ -26,12 +26,18 @@ class Options {
 
   bool Has(const std::string& key) const { return values_.count(key) != 0; }
 
-  // Typed getters with defaults; abort with a clear message when the stored
-  // value does not parse as the requested type.
+  // Typed getters with defaults. A stored value that does not parse as the
+  // requested type returns the fallback and records a diagnostic retrievable
+  // via error() — never aborts, so tools can reject bad flags with a clean
+  // one-line message instead of a PAD_CHECK stack trace.
   std::string GetString(const std::string& key, const std::string& fallback) const;
   double GetDouble(const std::string& key, double fallback) const;
   int GetInt(const std::string& key, int fallback) const;
   bool GetBool(const std::string& key, bool fallback) const;
+
+  // First type error hit by any Get* ("" when all reads parsed). Check after
+  // reading every option; the offending key is named in the message.
+  const std::string& error() const { return error_; }
 
   // Keys present but never read by any Get*: catches typos in configs.
   std::vector<std::string> UnusedKeys() const;
@@ -39,8 +45,11 @@ class Options {
   void Set(const std::string& key, const std::string& value) { values_[key] = value; }
 
  private:
+  void RecordError(const std::string& key, const char* what) const;
+
   std::map<std::string, std::string> values_;
   mutable std::map<std::string, bool> read_;
+  mutable std::string error_;
 };
 
 }  // namespace pad

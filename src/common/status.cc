@@ -1,0 +1,51 @@
+#include "src/common/status.h"
+
+namespace pad {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kDataLoss:
+      return "data_loss";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "ok";
+  }
+  return std::string(StatusCodeName(code_)) + ": " + message_;
+}
+
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 1;
+    case StatusCode::kNotFound:
+    case StatusCode::kUnavailable:
+      return 2;
+    case StatusCode::kFailedPrecondition:
+      return 3;
+    case StatusCode::kDataLoss:
+      return 4;
+    case StatusCode::kInternal:
+      return 5;
+  }
+  return 5;
+}
+
+}  // namespace pad

@@ -1,0 +1,140 @@
+// Recoverable error handling for user-input and I/O boundaries.
+//
+// PAD_CHECK (check.h) is for internal invariants: a failure means the
+// program itself is wrong and aborting is the only honest response. Bad
+// *input* — a malformed config, an unreadable trace file, a torn checkpoint
+// journal — is not a program bug, and a multi-hour run must not die with a
+// stack trace because of it. Functions on those boundaries return a Status
+// (or StatusOr<T>) instead: the caller decides whether to retry, degrade, or
+// exit with a one-line diagnostic and the code's conventional exit status
+// (ExitCodeFor).
+#ifndef ADPAD_SRC_COMMON_STATUS_H_
+#define ADPAD_SRC_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace pad {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     // The caller supplied nonsensical input (bad flag/config).
+  kNotFound,            // A named resource (file, path) does not exist / won't open.
+  kFailedPrecondition,  // State mismatch: e.g. a checkpoint whose fingerprint is stale.
+  kDataLoss,            // Input exists but is corrupt beyond recovery.
+  kUnavailable,         // Transient environment failure (I/O error mid-operation).
+  kInternal,            // Invariant violation surfaced as a status (should not happen).
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // OK.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "invalid_argument: users must be positive".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Conventional process exit status for a failure: tools map their terminal
+// Status through this so each failure class exits distinctly (and testably).
+//   ok = 0, invalid_argument = 1, not_found/unavailable = 2,
+//   failed_precondition = 3, data_loss = 4, internal = 5.
+int ExitCodeFor(const Status& status);
+
+// A Status or a value. The value is only accessible when ok(); dereferencing
+// a failed StatusOr is a programming error and PAD_CHECKs.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    PAD_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status without a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    PAD_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T& value() & {
+    PAD_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    PAD_CHECK_MSG(ok(), status_.message().c_str());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace pad
+
+// Propagates a non-OK Status to the caller.
+#define PAD_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::pad::Status pad_status_ = (expr);        \
+    if (!pad_status_.ok()) {                   \
+      return pad_status_;                      \
+    }                                          \
+  } while (0)
+
+// Evaluates a StatusOr expression; on error returns its Status, otherwise
+// moves the value into `lhs` (which may be a declaration).
+#define PAD_ASSIGN_OR_RETURN(lhs, expr)                    \
+  PAD_ASSIGN_OR_RETURN_IMPL_(                              \
+      PAD_STATUS_CONCAT_(pad_statusor_, __LINE__), lhs, expr)
+#define PAD_STATUS_CONCAT_INNER_(a, b) a##b
+#define PAD_STATUS_CONCAT_(a, b) PAD_STATUS_CONCAT_INNER_(a, b)
+#define PAD_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  lhs = *std::move(tmp)
+
+#endif  // ADPAD_SRC_COMMON_STATUS_H_

@@ -1,0 +1,631 @@
+#include "src/core/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "src/core/sweep.h"
+
+namespace pad {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected), table-driven.
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) != 0 ? 0xedb88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+uint32_t Crc32(const char* data, size_t size) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<unsigned char>(data[i])) & 0xffu];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian field serialization. Doubles round-trip through their IEEE
+// bits, so a restored metric is bit-identical to the one simulated — the
+// byte-identity contract depends on this.
+
+class ByteWriter {
+ public:
+  void PutU8(uint8_t value) { buffer_.push_back(static_cast<char>(value)); }
+  void PutU32(uint32_t value) {
+    for (int byte = 0; byte < 4; ++byte) {
+      buffer_.push_back(static_cast<char>((value >> (8 * byte)) & 0xffu));
+    }
+  }
+  void PutU64(uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      buffer_.push_back(static_cast<char>((value >> (8 * byte)) & 0xffull));
+    }
+  }
+  void PutI64(int64_t value) { PutU64(static_cast<uint64_t>(value)); }
+  void PutF64(double value) {
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    PutU64(bits);
+  }
+
+  const std::string& buffer() const { return buffer_; }
+
+ private:
+  std::string buffer_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t GetU8() { return static_cast<uint8_t>(Next(1) ? data_[pos_++] : 0); }
+  uint32_t GetU32() {
+    if (!Next(4)) {
+      return 0;
+    }
+    uint32_t value = 0;
+    for (int byte = 0; byte < 4; ++byte) {
+      value |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_++])) << (8 * byte);
+    }
+    return value;
+  }
+  uint64_t GetU64() {
+    if (!Next(8)) {
+      return 0;
+    }
+    uint64_t value = 0;
+    for (int byte = 0; byte < 8; ++byte) {
+      value |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_++])) << (8 * byte);
+    }
+    return value;
+  }
+  int64_t GetI64() { return static_cast<int64_t>(GetU64()); }
+  double GetF64() {
+    const uint64_t bits = GetU64();
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+
+  // True when every read so far was in bounds and the payload is spent.
+  bool Finished() const { return ok_ && pos_ == size_; }
+  bool ok() const { return ok_; }
+
+ private:
+  bool Next(size_t bytes) {
+    if (!ok_ || size_ - pos_ < bytes) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Record payloads. Field order mirrors sweep.cc's Digest::Mix so anyone
+// auditing byte-identity reads the same field list in both places.
+
+constexpr uint8_t kHeaderRecord = 1;
+constexpr uint8_t kMarketRecord = 2;
+// Bounds a single record allocation; a bit-flipped length field must not ask
+// the reader to allocate gigabytes. Market records are ~1 KiB.
+constexpr uint32_t kMaxPayloadBytes = 1u << 20;
+
+void PutEnergy(ByteWriter& out, const EnergyBreakdown& energy) {
+  for (const CategoryEnergy& category : energy.radio.by_category) {
+    out.PutF64(category.transfer_j);
+    out.PutF64(category.tail_j);
+    out.PutF64(category.bytes);
+    out.PutI64(category.transfers);
+  }
+  out.PutF64(energy.radio.promo_time_s);
+  out.PutF64(energy.radio.active_time_s);
+  out.PutF64(energy.radio.tail_time_s);
+  out.PutF64(energy.local_j);
+}
+
+void GetEnergy(ByteReader& in, EnergyBreakdown* energy) {
+  for (CategoryEnergy& category : energy->radio.by_category) {
+    category.transfer_j = in.GetF64();
+    category.tail_j = in.GetF64();
+    category.bytes = in.GetF64();
+    category.transfers = in.GetI64();
+  }
+  energy->radio.promo_time_s = in.GetF64();
+  energy->radio.active_time_s = in.GetF64();
+  energy->radio.tail_time_s = in.GetF64();
+  energy->local_j = in.GetF64();
+}
+
+void PutLedger(ByteWriter& out, const LedgerTotals& ledger) {
+  out.PutI64(ledger.sold);
+  out.PutI64(ledger.billed);
+  out.PutI64(ledger.violated);
+  out.PutI64(ledger.excess_displays);
+  out.PutI64(ledger.displays);
+  out.PutF64(ledger.billed_revenue);
+  out.PutF64(ledger.violated_value);
+}
+
+void GetLedger(ByteReader& in, LedgerTotals* ledger) {
+  ledger->sold = in.GetI64();
+  ledger->billed = in.GetI64();
+  ledger->violated = in.GetI64();
+  ledger->excess_displays = in.GetI64();
+  ledger->displays = in.GetI64();
+  ledger->billed_revenue = in.GetF64();
+  ledger->violated_value = in.GetF64();
+}
+
+void PutService(ByteWriter& out, const ServiceStats& service) {
+  out.PutI64(service.slots);
+  out.PutI64(service.served_from_cache);
+  out.PutI64(service.fallback_fetches);
+  out.PutI64(service.unfilled);
+  out.PutI64(service.expired_cache_drops);
+}
+
+void GetService(ByteReader& in, ServiceStats* service) {
+  service->slots = in.GetI64();
+  service->served_from_cache = in.GetI64();
+  service->fallback_fetches = in.GetI64();
+  service->unfilled = in.GetI64();
+  service->expired_cache_drops = in.GetI64();
+}
+
+void PutFaults(ByteWriter& out, const FaultStats& faults) {
+  out.PutI64(faults.reports_dropped);
+  out.PutI64(faults.reports_delayed);
+  out.PutI64(faults.stale_windows);
+  out.PutI64(faults.fetch_failures);
+  out.PutI64(faults.fetch_retries);
+  out.PutI64(faults.bundles_abandoned);
+  out.PutI64(faults.syncs_missed);
+  out.PutI64(faults.offline_epochs);
+  out.PutI64(faults.offline_fetch_misses);
+  out.PutI64(faults.offline_violations);
+}
+
+void GetFaults(ByteReader& in, FaultStats* faults) {
+  faults->reports_dropped = in.GetI64();
+  faults->reports_delayed = in.GetI64();
+  faults->stale_windows = in.GetI64();
+  faults->fetch_failures = in.GetI64();
+  faults->fetch_retries = in.GetI64();
+  faults->bundles_abandoned = in.GetI64();
+  faults->syncs_missed = in.GetI64();
+  faults->offline_epochs = in.GetI64();
+  faults->offline_fetch_misses = in.GetI64();
+  faults->offline_violations = in.GetI64();
+}
+
+std::string SerializeHeader(const CheckpointHeader& header) {
+  ByteWriter out;
+  out.PutU8(kHeaderRecord);
+  out.PutU32(header.schema_version);
+  out.PutU64(header.config_fingerprint);
+  out.PutU64(header.population_seed);
+  out.PutI64(header.total_users);
+  out.PutU32(static_cast<uint32_t>(header.num_markets));
+  out.PutU8(header.run_baseline ? 1 : 0);
+  out.PutU8(header.event_digests ? 1 : 0);
+  return out.buffer();
+}
+
+bool ParseHeader(const char* data, size_t size, CheckpointHeader* header) {
+  ByteReader in(data, size);
+  if (in.GetU8() != kHeaderRecord) {
+    return false;
+  }
+  header->schema_version = in.GetU32();
+  header->config_fingerprint = in.GetU64();
+  header->population_seed = in.GetU64();
+  header->total_users = in.GetI64();
+  header->num_markets = static_cast<int32_t>(in.GetU32());
+  header->run_baseline = in.GetU8() != 0;
+  header->event_digests = in.GetU8() != 0;
+  return in.Finished();
+}
+
+std::string SerializeMarket(const MarketRecord& record) {
+  ByteWriter out;
+  out.PutU8(kMarketRecord);
+  out.PutU32(static_cast<uint32_t>(record.market));
+  out.PutI64(record.sessions);
+  out.PutU64(record.pad_digest);
+  out.PutU64(record.baseline_digest);
+  out.PutU64(record.event_digest);
+  out.PutF64(record.generate_seconds);
+  out.PutF64(record.simulate_seconds);
+
+  PutEnergy(out, record.baseline.energy);
+  PutLedger(out, record.baseline.ledger);
+  PutService(out, record.baseline.service);
+  out.PutF64(record.baseline.scored_days);
+
+  PutEnergy(out, record.pad.energy);
+  PutLedger(out, record.pad.ledger);
+  PutService(out, record.pad.service);
+  out.PutF64(record.pad.scored_days);
+  for (const CalibrationBucket& bucket : record.pad.calibration) {
+    out.PutI64(bucket.planned);
+    out.PutI64(bucket.delivered);
+    out.PutF64(bucket.sum_predicted);
+  }
+  out.PutI64(record.pad.impressions_dispatched);
+  out.PutI64(record.pad.impressions_sold);
+  PutFaults(out, record.pad.faults);
+  return out.buffer();
+}
+
+bool ParseMarket(const char* data, size_t size, MarketRecord* record) {
+  ByteReader in(data, size);
+  if (in.GetU8() != kMarketRecord) {
+    return false;
+  }
+  record->market = static_cast<int32_t>(in.GetU32());
+  record->sessions = in.GetI64();
+  record->pad_digest = in.GetU64();
+  record->baseline_digest = in.GetU64();
+  record->event_digest = in.GetU64();
+  record->generate_seconds = in.GetF64();
+  record->simulate_seconds = in.GetF64();
+
+  GetEnergy(in, &record->baseline.energy);
+  GetLedger(in, &record->baseline.ledger);
+  GetService(in, &record->baseline.service);
+  record->baseline.scored_days = in.GetF64();
+
+  GetEnergy(in, &record->pad.energy);
+  GetLedger(in, &record->pad.ledger);
+  GetService(in, &record->pad.service);
+  record->pad.scored_days = in.GetF64();
+  for (CalibrationBucket& bucket : record->pad.calibration) {
+    bucket.planned = in.GetI64();
+    bucket.delivered = in.GetI64();
+    bucket.sum_predicted = in.GetF64();
+  }
+  record->pad.impressions_dispatched = in.GetI64();
+  record->pad.impressions_sold = in.GetI64();
+  GetFaults(in, &record->pad.faults);
+  return in.Finished();
+}
+
+// ---------------------------------------------------------------------------
+// Config fingerprint.
+
+class Fingerprint {
+ public:
+  Fingerprint& Mix(double value) {
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return MixU64(bits);
+  }
+  Fingerprint& Mix(int64_t value) { return MixU64(static_cast<uint64_t>(value)); }
+  Fingerprint& Mix(int value) { return Mix(static_cast<int64_t>(value)); }
+  Fingerprint& Mix(bool value) { return Mix(static_cast<int64_t>(value ? 1 : 0)); }
+  Fingerprint& Mix(uint64_t value) { return MixU64(value); }
+  Fingerprint& Mix(const std::string& value) {
+    Mix(static_cast<int64_t>(value.size()));
+    for (char c : value) {
+      MixU64(static_cast<unsigned char>(c));
+    }
+    return *this;
+  }
+
+  uint64_t value() const { return hash_; }
+
+ private:
+  Fingerprint& MixU64(uint64_t bits) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash_ ^= (bits >> (8 * byte)) & 0xffull;
+      hash_ *= 0x100000001b3ull;  // FNV-1a prime.
+    }
+    return *this;
+  }
+
+  uint64_t hash_ = 0xcbf29ce484222325ull;  // FNV-1a offset.
+};
+
+void MixRadio(Fingerprint& fp, const RadioProfile& radio) {
+  fp.Mix(radio.name)
+      .Mix(radio.promo_latency_s)
+      .Mix(radio.promo_power_w)
+      .Mix(radio.active_power_w)
+      .Mix(radio.downlink_bps)
+      .Mix(radio.uplink_bps)
+      .Mix(radio.rtt_s)
+      .Mix(static_cast<int64_t>(radio.tail.size()));
+  for (const TailPhase& phase : radio.tail) {
+    fp.Mix(phase.name).Mix(phase.power_w).Mix(phase.duration_s).Mix(phase.resume_latency_s);
+  }
+}
+
+}  // namespace
+
+uint64_t ConfigFingerprint(const PadConfig& config) {
+  Fingerprint fp;
+  fp.Mix(static_cast<int64_t>(kCheckpointSchemaVersion));
+
+  const PopulationConfig& pop = config.population;
+  fp.Mix(pop.num_users)
+      .Mix(pop.horizon_s)
+      .Mix(pop.num_apps)
+      .Mix(pop.app_zipf_exponent)
+      .Mix(pop.num_segments)
+      .Mix(static_cast<int64_t>(pop.archetypes.size()));
+  for (const UserArchetype& archetype : pop.archetypes) {
+    fp.Mix(archetype.name)
+        .Mix(archetype.weight)
+        .Mix(archetype.sessions_per_day)
+        .Mix(archetype.session_duration_mu)
+        .Mix(archetype.session_duration_sigma);
+  }
+  fp.Mix(pop.rate_spread_sigma)
+      .Mix(pop.phase_jitter_h)
+      .Mix(pop.day_noise_sigma)
+      .Mix(pop.weekend_rate_multiplier)
+      .Mix(pop.weekend_phase_shift_h)
+      .Mix(pop.flat_diurnal)
+      .Mix(pop.min_session_s)
+      .Mix(pop.max_session_s)
+      .Mix(pop.seed);
+
+  const CampaignStreamConfig& camp = config.campaigns;
+  fp.Mix(camp.horizon_s)
+      .Mix(camp.arrivals_per_day)
+      .Mix(camp.cpm_mu)
+      .Mix(camp.cpm_sigma)
+      .Mix(camp.target_mu)
+      .Mix(camp.target_sigma)
+      .Mix(camp.display_deadline_s)
+      .Mix(camp.num_segments)
+      .Mix(camp.targeted_fraction)
+      .Mix(camp.segment_selectivity)
+      .Mix(camp.capped_fraction)
+      .Mix(camp.frequency_cap_per_day)
+      .Mix(camp.budgeted_fraction)
+      .Mix(camp.budget_value_multiple)
+      .Mix(camp.seed);
+
+  fp.Mix(config.exchange.reserve_price).Mix(config.exchange.num_segments);
+  fp.Mix(config.planner.sla_target)
+      .Mix(config.planner.max_replicas)
+      .Mix(config.planner.exact_tail)
+      .Mix(config.planner.confidence_discount);
+
+  MixRadio(fp, config.radio);
+  MixRadio(fp, config.wifi_radio);
+  fp.Mix(config.wifi.enabled)
+      .Mix(config.wifi.home_start_h)
+      .Mix(config.wifi.home_end_h)
+      .Mix(config.wifi.jitter_h);
+
+  fp.Mix(config.prediction_window_s)
+      .Mix(config.deadline_s)
+      .Mix(static_cast<int64_t>(config.predictor))
+      .Mix(config.oracle_noise_sigma)
+      .Mix(config.use_noisy_oracle)
+      .Mix(config.overbooking_factor)
+      .Mix(config.candidate_pool)
+      .Mix(config.random_candidates)
+      .Mix(config.inventory_control)
+      .Mix(config.capacity_confidence)
+      .Mix(config.invalidation_sync)
+      .Mix(config.invalidation_bytes)
+      .Mix(config.rescue_enabled)
+      .Mix(config.rescue_horizon_s)
+      .Mix(config.rescue_threshold)
+      .Mix(config.max_slot_rate_per_s)
+      .Mix(config.ad_bytes)
+      .Mix(config.slot_report_bytes);
+
+  const FaultConfig& faults = config.faults;
+  fp.Mix(faults.report_drop_rate)
+      .Mix(faults.report_delay_rate)
+      .Mix(faults.fetch_failure_rate)
+      .Mix(faults.fetch_max_retries)
+      .Mix(faults.sync_miss_rate)
+      .Mix(faults.offline_rate)
+      .Mix(faults.offline_window_s)
+      .Mix(faults.stale_decay);
+
+  fp.Mix(config.warmup_days).Mix(config.market_users).Mix(config.seed);
+  return fp.value();
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+
+StatusOr<std::unique_ptr<CheckpointWriter>> CheckpointWriter::Create(
+    const std::string& path, const CheckpointHeader& header, bool fsync_each) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::NotFound("cannot create checkpoint journal '" + path +
+                            "': " + std::strerror(errno));
+  }
+  std::unique_ptr<CheckpointWriter> writer(new CheckpointWriter(fd, path, fsync_each));
+  // Magic, then the header as an ordinary framed record.
+  const std::string magic(kCheckpointMagic, 8);
+  if (::write(fd, magic.data(), magic.size()) != static_cast<ssize_t>(magic.size())) {
+    return Status::Unavailable("cannot write checkpoint magic to '" + path + "'");
+  }
+  PAD_RETURN_IF_ERROR(writer->WriteFrame(SerializeHeader(header)));
+  return writer;
+}
+
+StatusOr<std::unique_ptr<CheckpointWriter>> CheckpointWriter::Resume(
+    const std::string& path, int64_t valid_bytes, bool fsync_each) {
+  // Drop any torn/corrupt tail before appending: everything past the CRC-
+  // valid prefix is garbage a future replay must never see.
+  if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
+    return Status::Unavailable("cannot truncate checkpoint journal '" + path +
+                               "': " + std::strerror(errno));
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) {
+    return Status::NotFound("cannot open checkpoint journal '" + path +
+                            "' for append: " + std::strerror(errno));
+  }
+  return std::unique_ptr<CheckpointWriter>(new CheckpointWriter(fd, path, fsync_each));
+}
+
+CheckpointWriter::~CheckpointWriter() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Status CheckpointWriter::WriteFrame(const std::string& payload) {
+  ByteWriter frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(payload.data(), payload.size()));
+  std::string bytes = frame.buffer() + payload;
+  // One write per record: a crash tears at most the record being written,
+  // never an earlier one, so the valid prefix is exactly the fsync'd records.
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::Unavailable("cannot append to checkpoint journal '" + path_ +
+                                 "': " + std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (fsync_each_ && ::fsync(fd_) != 0) {
+    return Status::Unavailable("cannot fsync checkpoint journal '" + path_ +
+                               "': " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status CheckpointWriter::Append(const MarketRecord& record) {
+  return WriteFrame(SerializeMarket(record));
+}
+
+// ---------------------------------------------------------------------------
+// Reader.
+
+StatusOr<CheckpointContents> ReadCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return Status::NotFound("cannot open checkpoint journal '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string data = buffer.str();
+
+  CheckpointContents contents;
+  // Shorter than the magic: either empty or torn during creation. Both mean
+  // "no completed work"; the engine recreates the journal from scratch.
+  if (data.size() < 8) {
+    if (!data.empty() && data != std::string(kCheckpointMagic, data.size())) {
+      return Status::InvalidArgument("'" + path + "' is not a checkpoint journal");
+    }
+    contents.truncation_reason = "journal shorter than its magic";
+    return contents;
+  }
+  if (data.compare(0, 8, kCheckpointMagic, 8) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not a checkpoint journal (bad magic)");
+  }
+
+  size_t pos = 8;
+  contents.valid_bytes = 8;
+  std::set<int32_t> seen_markets;
+  bool first_record = true;
+  while (pos < data.size()) {
+    // Frame header.
+    if (data.size() - pos < 8) {
+      contents.truncation_reason = "torn frame header";
+      break;
+    }
+    ByteReader frame(data.data() + pos, 8);
+    const uint32_t payload_len = frame.GetU32();
+    const uint32_t stored_crc = frame.GetU32();
+    if (payload_len > kMaxPayloadBytes) {
+      contents.truncation_reason = "implausible frame length";
+      break;
+    }
+    if (data.size() - pos - 8 < payload_len) {
+      contents.truncation_reason = "torn record payload";
+      break;
+    }
+    const char* payload = data.data() + pos + 8;
+    if (Crc32(payload, payload_len) != stored_crc) {
+      contents.truncation_reason = "record CRC mismatch";
+      break;
+    }
+
+    if (first_record) {
+      CheckpointHeader header;
+      if (!ParseHeader(payload, payload_len, &header)) {
+        contents.truncation_reason = "malformed header record";
+        break;
+      }
+      if (header.schema_version != kCheckpointSchemaVersion) {
+        return Status::FailedPrecondition(
+            "checkpoint journal '" + path + "' has schema version " +
+            std::to_string(header.schema_version) + "; this build reads version " +
+            std::to_string(kCheckpointSchemaVersion));
+      }
+      contents.header = header;
+      contents.has_header = true;
+      first_record = false;
+    } else {
+      MarketRecord record;
+      if (!ParseMarket(payload, payload_len, &record)) {
+        contents.truncation_reason = "malformed market record";
+        break;
+      }
+      if (record.market < 0 || record.market >= contents.header.num_markets ||
+          !seen_markets.insert(record.market).second) {
+        contents.truncation_reason = "market index out of range or duplicated";
+        break;
+      }
+      // Belt and braces beyond the CRC: the stored digest must match the
+      // digest of the metrics we just deserialized. A record that fails this
+      // is treated exactly like a corrupt one.
+      if (MetricsDigest(record.pad) != record.pad_digest ||
+          (contents.header.run_baseline &&
+           MetricsDigest(record.baseline) != record.baseline_digest)) {
+        contents.truncation_reason = "metric digest mismatch";
+        break;
+      }
+      contents.markets.push_back(std::move(record));
+    }
+    pos += 8 + payload_len;
+    contents.valid_bytes = static_cast<int64_t>(pos);
+  }
+  if (first_record) {
+    // No CRC-valid header: whatever the prefix holds, there is nothing to
+    // resume from. Leave has_header false so the caller recreates the file.
+    contents.valid_bytes = 8;
+  }
+  return contents;
+}
+
+}  // namespace pad

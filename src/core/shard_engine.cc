@@ -4,11 +4,13 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
 #include <utility>
 
 #include "src/apps/app_profile.h"
 #include "src/common/check.h"
 #include "src/common/thread_pool.h"
+#include "src/core/checkpoint.h"
 #include "src/core/event_log.h"
 #include "src/core/pad_simulation.h"
 #include "src/core/sweep.h"
@@ -80,19 +82,35 @@ PadConfig MarketConfig(const PadConfig& aligned, int market, int64_t lo, int64_t
   return config;
 }
 
-struct MarketResult {
-  BaselineResult baseline;
-  PadRunResult pad;
-  int64_t sessions = 0;
-  uint64_t pad_digest = 0;
-  uint64_t baseline_digest = 0;
-  uint64_t event_digest = 0;
-  double generate_seconds = 0.0;
-  double simulate_seconds = 0.0;
-};
-
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// Per-lane progress slot the watchdog thread polls: which market the lane is
+// inside and since when (milliseconds from engine start; -1 = idle).
+struct LaneWatch {
+  std::atomic<int> market{-1};
+  std::atomic<int64_t> start_ms{0};
+};
+
+Status CheckJournalHeader(const CheckpointHeader& found, const CheckpointHeader& expected,
+                          const std::string& path) {
+  if (found.config_fingerprint != expected.config_fingerprint ||
+      found.population_seed != expected.population_seed ||
+      found.total_users != expected.total_users || found.num_markets != expected.num_markets) {
+    return Status::FailedPrecondition(
+        "checkpoint journal '" + path +
+        "' was written by a different experiment (config fingerprint mismatch); "
+        "delete the journal or point the checkpoint at a fresh path");
+  }
+  if (found.run_baseline != expected.run_baseline ||
+      found.event_digests != expected.event_digests) {
+    return Status::FailedPrecondition(
+        "checkpoint journal '" + path +
+        "' was written with different engine result flags (run_baseline/event_digests); "
+        "rerun with the original flags or delete the journal");
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -130,13 +148,17 @@ std::string ValidateShardOptions(const PadConfig& config, const ShardEngineOptio
              "or shrink market_users";
     }
   }
+  if (options.market_watchdog_s < 0.0) {
+    return "market_watchdog_s must be non-negative (0 = disabled)";
+  }
   return "";
 }
 
-ShardedComparison RunShardedComparison(const PadConfig& config,
-                                       const ShardEngineOptions& options) {
-  const std::string error = ValidateShardOptions(config, options);
-  PAD_CHECK_MSG(error.empty(), error.c_str());
+StatusOr<ShardedComparison> RunShardedResumable(const PadConfig& config,
+                                                const ShardEngineOptions& options) {
+  if (const std::string error = ValidateShardOptions(config, options); !error.empty()) {
+    return Status::InvalidArgument(error);
+  }
 
   const PadConfig aligned = AlignInputsConfig(config);
   const int64_t num_users = aligned.population.num_users;
@@ -147,13 +169,97 @@ ShardedComparison RunShardedComparison(const PadConfig& config,
       1, std::min(num_markets,
                   options.shards <= 0 ? ThreadPool::HardwareThreads() : options.shards));
 
+  // Per-market result slots: restored from the journal or filled by a lane.
+  // `completed[m]` marks slots holding a finished market (plain bytes written
+  // by at most one thread each, read after the pool joins).
+  std::vector<MarketRecord> results(static_cast<size_t>(num_markets));
+  std::vector<char> completed(static_cast<size_t>(num_markets), 0);
+  int resumed = 0;
+
+  std::unique_ptr<CheckpointWriter> writer;
+  if (!options.checkpoint_path.empty()) {
+    CheckpointHeader header;
+    header.config_fingerprint = ConfigFingerprint(aligned);
+    header.population_seed = aligned.population.seed;
+    header.total_users = num_users;
+    header.num_markets = num_markets;
+    header.run_baseline = options.run_baseline;
+    header.event_digests = options.event_digests;
+
+    StatusOr<CheckpointContents> read = ReadCheckpoint(options.checkpoint_path);
+    bool fresh = false;
+    if (!read.ok()) {
+      if (read.status().code() != StatusCode::kNotFound) {
+        return read.status();  // Foreign file or unreadable schema: refuse.
+      }
+      fresh = true;  // No journal yet.
+    } else if (!read->has_header) {
+      fresh = true;  // Crash before the header landed: nothing to resume.
+    } else {
+      PAD_RETURN_IF_ERROR(CheckJournalHeader(read->header, header, options.checkpoint_path));
+      for (MarketRecord& record : read->markets) {
+        const size_t m = static_cast<size_t>(record.market);
+        results[m] = std::move(record);
+        completed[m] = 1;
+        ++resumed;
+      }
+      PAD_ASSIGN_OR_RETURN(
+          writer, CheckpointWriter::Resume(options.checkpoint_path, read->valid_bytes,
+                                           options.checkpoint_fsync));
+    }
+    if (fresh) {
+      PAD_ASSIGN_OR_RETURN(writer, CheckpointWriter::Create(options.checkpoint_path, header,
+                                                            options.checkpoint_fsync));
+    }
+  }
+
+  // Journal appends are serialized; the first I/O failure is latched and
+  // fails the whole run (a checkpoint that silently stopped recording would
+  // betray the next resume).
+  std::mutex journal_mutex;
+  Status journal_status;  // Guarded by journal_mutex.
+
   ResidencyGate gate(options.max_resident_users);
-  std::vector<MarketResult> results(static_cast<size_t>(num_markets));
+  std::atomic<bool> interrupted{false};
+
+  // Watchdog: a monitor thread polling per-lane progress slots. Pure
+  // observability — a stalled market keeps running (killing it would break
+  // determinism); it is reported once per (lane, market).
+  const auto engine_start = std::chrono::steady_clock::now();
+  const auto now_ms = [engine_start] {
+    return static_cast<int64_t>(SecondsSince(engine_start) * 1000.0);
+  };
+  std::vector<LaneWatch> watch(static_cast<size_t>(lanes));
+  std::atomic<bool> watch_done{false};
+  std::thread watchdog;
+  if (options.market_watchdog_s > 0.0 && options.on_stall) {
+    watchdog = std::thread([&] {
+      std::vector<int> reported(static_cast<size_t>(lanes), -1);
+      const auto poll = std::chrono::milliseconds(
+          std::max<int64_t>(10, static_cast<int64_t>(options.market_watchdog_s * 250.0)));
+      while (!watch_done.load()) {
+        for (size_t lane = 0; lane < watch.size(); ++lane) {
+          const int market = watch[lane].market.load();
+          if (market < 0 || reported[lane] == market) {
+            continue;
+          }
+          const double elapsed_s =
+              static_cast<double>(now_ms() - watch[lane].start_ms.load()) / 1000.0;
+          if (elapsed_s > options.market_watchdog_s) {
+            reported[lane] = market;
+            options.on_stall(static_cast<int>(lane), market, elapsed_s);
+          }
+        }
+        std::this_thread::sleep_for(poll);
+      }
+    });
+  }
 
   // Each lane owns a contiguous market range and streams it through its own
   // PopulationStream: one skip to the lane's first user, then strictly
   // sequential generation, so the per-lane replay cost is O(num_users) total
-  // whatever the lane count.
+  // whatever the lane count. Markets already in the journal are skipped with
+  // SkipUsers — bit-identical to generating, at a fraction of the cost.
   ThreadPool pool(options.threads);
   pool.ParallelFor(lanes, [&](int64_t lane) {
     const int first = static_cast<int>(lane * num_markets / lanes);
@@ -166,49 +272,89 @@ ShardedComparison RunShardedComparison(const PadConfig& config,
     for (int m = first; m < last; ++m) {
       const int64_t lo = boundaries[static_cast<size_t>(m)];
       const int64_t hi = boundaries[static_cast<size_t>(m) + 1];
+      if (completed[static_cast<size_t>(m)]) {
+        stream.SkipUsers(hi - lo);  // Restored from the journal.
+        continue;
+      }
+      // Graceful shutdown: finish nothing new once the flag flips. Markets
+      // already simulated stay journaled, so a rerun resumes cleanly.
+      if (options.stop_requested != nullptr && options.stop_requested->load()) {
+        interrupted.store(true);
+        break;
+      }
       gate.Acquire(hi - lo);
-      MarketResult& out = results[static_cast<size_t>(m)];
+      MarketRecord& out = results[static_cast<size_t>(m)];
+      out.market = m;
+      watch[static_cast<size_t>(lane)].start_ms.store(now_ms());
+      watch[static_cast<size_t>(lane)].market.store(m);
 
-      const auto generate_start = std::chrono::steady_clock::now();
-      const PadConfig market_config = MarketConfig(aligned, m, lo, hi, num_users, num_markets);
-      SimInputs inputs{stream.NextBlock(hi - lo), AppCatalog::TopFifteen(),
-                       GenerateCampaignStream(market_config.campaigns)};
-      for (const UserTrace& user : inputs.population.users) {
-        out.sessions += static_cast<int64_t>(user.sessions.size());
-      }
-      out.generate_seconds = SecondsSince(generate_start);
+      {
+        const auto generate_start = std::chrono::steady_clock::now();
+        const PadConfig market_config =
+            MarketConfig(aligned, m, lo, hi, num_users, num_markets);
+        SimInputs inputs{stream.NextBlock(hi - lo), AppCatalog::TopFifteen(),
+                         GenerateCampaignStream(market_config.campaigns)};
+        for (const UserTrace& user : inputs.population.users) {
+          out.sessions += static_cast<int64_t>(user.sessions.size());
+        }
+        out.generate_seconds = SecondsSince(generate_start);
 
-      const auto simulate_start = std::chrono::steady_clock::now();
-      if (options.run_baseline) {
-        out.baseline = RunBaseline(market_config, inputs);
-        out.baseline_digest = MetricsDigest(out.baseline);
+        const auto simulate_start = std::chrono::steady_clock::now();
+        if (options.run_baseline) {
+          out.baseline = RunBaseline(market_config, inputs);
+          out.baseline_digest = MetricsDigest(out.baseline);
+        }
+        EventLog log;
+        out.pad = RunPad(market_config, inputs, options.event_digests ? &log : nullptr);
+        out.pad_digest = MetricsDigest(out.pad);
+        if (options.event_digests) {
+          out.event_digest = log.Digest();
+        }
+        out.simulate_seconds = SecondsSince(simulate_start);
+        // Free the market's traces (and its event log) before admitting more
+        // users: `inputs` goes out of scope here.
       }
-      EventLog log;
-      out.pad = RunPad(market_config, inputs, options.event_digests ? &log : nullptr);
-      out.pad_digest = MetricsDigest(out.pad);
-      if (options.event_digests) {
-        out.event_digest = log.Digest();
-      }
-      out.simulate_seconds = SecondsSince(simulate_start);
-
-      // Free the market's traces (and its event log) before admitting more
-      // users: `inputs` goes out of scope here.
+      watch[static_cast<size_t>(lane)].market.store(-1);
       gate.Release(hi - lo);
+
+      if (writer != nullptr) {
+        std::lock_guard<std::mutex> lock(journal_mutex);
+        if (journal_status.ok()) {
+          journal_status = writer->Append(out);
+        }
+      }
+      completed[static_cast<size_t>(m)] = 1;
     }
   });
 
+  watch_done.store(true);
+  if (watchdog.joinable()) {
+    watchdog.join();
+  }
+  PAD_RETURN_IF_ERROR(journal_status);
+
   // Fold in market-index order — never completion order — so the totals and
-  // every combined digest are independent of scheduling.
+  // every combined digest are independent of scheduling AND of which side of
+  // a crash each market was simulated on.
   ShardedComparison merged;
   merged.num_markets = num_markets;
   merged.total_users = num_users;
-  merged.totals.baseline = std::move(results[0].baseline);
-  merged.totals.pad = std::move(results[0].pad);
-  for (size_t m = 1; m < results.size(); ++m) {
-    merged.totals.baseline.Merge(results[m].baseline);
-    merged.totals.pad.Merge(results[m].pad);
-  }
-  for (const MarketResult& result : results) {
+  merged.resumed_markets = resumed;
+  merged.interrupted = interrupted.load();
+  bool first_market = true;
+  for (int m = 0; m < num_markets; ++m) {
+    if (completed[static_cast<size_t>(m)] == 0) {
+      continue;  // Interrupted before this market finished.
+    }
+    MarketRecord& result = results[static_cast<size_t>(m)];
+    if (first_market) {
+      merged.totals.baseline = std::move(result.baseline);
+      merged.totals.pad = std::move(result.pad);
+      first_market = false;
+    } else {
+      merged.totals.baseline.Merge(result.baseline);
+      merged.totals.pad.Merge(result.pad);
+    }
     merged.total_sessions += result.sessions;
     merged.generate_seconds += result.generate_seconds;
     merged.simulate_seconds += result.simulate_seconds;
@@ -229,6 +375,13 @@ ShardedComparison RunShardedComparison(const PadConfig& config,
   }
   merged.peak_resident_users = gate.peak();
   return merged;
+}
+
+ShardedComparison RunShardedComparison(const PadConfig& config,
+                                       const ShardEngineOptions& options) {
+  StatusOr<ShardedComparison> result = RunShardedResumable(config, options);
+  PAD_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return *std::move(result);
 }
 
 }  // namespace pad

@@ -30,14 +30,25 @@
 //     population seed, its own exchange/server/clients), and results are
 //     slotted by market index, never by completion order.
 //
-// tests/integration/shard_equivalence_test.cc enforces both halves.
+// Crash safety (core/checkpoint.h) extends the same contract into the crash
+// dimension: with a checkpoint_path set, every completed market is journaled
+// (CRC-framed, fsync'd), and a resumed run skips journaled markets — via
+// PopulationStream's skip, which is bit-identical to generating — so the
+// merged totals and digests match an uninterrupted run byte for byte, at any
+// shard/thread/residency setting on either side of the crash.
+//
+// tests/integration/shard_equivalence_test.cc enforces the execution-knob
+// half; tests/integration/crash_recovery_test.cc the crash half.
 #ifndef ADPAD_SRC_CORE_SHARD_ENGINE_H_
 #define ADPAD_SRC_CORE_SHARD_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/core/config.h"
 #include "src/core/metrics.h"
 
@@ -60,6 +71,27 @@ struct ShardEngineOptions {
   // Record each market's PAD event log and keep its digest (the log itself
   // is dropped with the market, so memory stays bounded).
   bool event_digests = false;
+
+  // Non-empty: journal every completed market to this file (core/checkpoint.h)
+  // and, when the file already holds a valid journal for this config, resume
+  // from it instead of re-simulating the journaled markets.
+  std::string checkpoint_path;
+  // fsync after every journal record (the crash-safety guarantee). Off trades
+  // that guarantee for throughput — records can be lost on power failure, but
+  // whatever survives still CRC-validates.
+  bool checkpoint_fsync = true;
+
+  // Graceful-shutdown flag, polled between markets. When it flips true, every
+  // lane finishes the market it is simulating (journaling it as usual) and
+  // stops taking new ones; the run returns with interrupted = true and the
+  // journal positioned for resume. Null = never stop.
+  const std::atomic<bool>* stop_requested = nullptr;
+
+  // Watchdog: a market whose wall-clock time exceeds this budget is reported
+  // through on_stall (observability only — the market keeps running, since
+  // killing it would break determinism). <= 0 disables.
+  double market_watchdog_s = 0.0;
+  std::function<void(int lane, int market, double elapsed_s)> on_stall;
 };
 
 struct ShardedComparison {
@@ -87,14 +119,30 @@ struct ShardedComparison {
   // generation vs client/server simulation.
   double generate_seconds = 0.0;
   double simulate_seconds = 0.0;
+
+  // Markets restored from the checkpoint journal instead of simulated.
+  int resumed_markets = 0;
+  // True when stop_requested fired before every market completed. The totals
+  // and digests cover only completed markets; the journal holds them all, so
+  // rerunning with the same checkpoint_path finishes the job.
+  bool interrupted = false;
 };
 
 // Checks the engine options against the config (budget at least one market,
 // sane counts). Empty string when valid, else a one-line description.
 std::string ValidateShardOptions(const PadConfig& config, const ShardEngineOptions& options);
 
+// Runs the streaming sharded simulation with the full robustness surface:
+// checkpoint/resume, graceful shutdown, and the watchdog. Validation and I/O
+// failures come back as Status (kInvalidArgument for bad config/options,
+// kFailedPrecondition for a stale checkpoint fingerprint, kNotFound /
+// kUnavailable for journal I/O) — never an abort.
+StatusOr<ShardedComparison> RunShardedResumable(const PadConfig& config,
+                                                const ShardEngineOptions& options = {});
+
 // Runs the streaming sharded simulation. PAD_CHECKs that config and options
 // validate; tools should call the validators first for a clean message.
+// Thin wrapper over RunShardedResumable for callers without a checkpoint.
 ShardedComparison RunShardedComparison(const PadConfig& config,
                                        const ShardEngineOptions& options = {});
 

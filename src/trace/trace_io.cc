@@ -166,4 +166,19 @@ Population ReadTraceFile(const std::string& path) {
   return ParseTrace(buffer.str());
 }
 
+StatusOr<Population> LoadTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::NotFound("cannot open trace file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Population population;
+  std::string error;
+  if (!TryParseTrace(buffer.str(), &population, &error)) {
+    return Status::InvalidArgument("trace file '" + path + "': " + error);
+  }
+  return population;
+}
+
 }  // namespace pad

@@ -11,6 +11,7 @@
 #include <string>
 #include <string_view>
 
+#include "src/common/status.h"
 #include "src/trace/session.h"
 
 namespace pad {
@@ -26,6 +27,11 @@ Population ReadTraceFile(const std::string& path);
 // missing required column — fills *error with a diagnostic and returns
 // false, leaving *population untouched. ParseTrace is this plus an abort.
 bool TryParseTrace(std::string_view text, Population* population, std::string* error);
+
+// Status-returning file load for the tool boundary: kNotFound when the file
+// cannot be opened, kInvalidArgument when its contents fail TryParseTrace.
+// Never aborts on bad input, unlike ReadTraceFile.
+StatusOr<Population> LoadTraceFile(const std::string& path);
 
 }  // namespace pad
 

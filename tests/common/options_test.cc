@@ -94,12 +94,28 @@ TEST(OptionsTest, UnusedKeysTracked) {
   EXPECT_EQ(unused[0], "typo_key");
 }
 
-TEST(OptionsDeathTest, TypeMismatchAborts) {
+TEST(OptionsTest, TypeMismatchRecordsErrorInsteadOfAborting) {
   const auto options = ParseArgs({"n=abc", "f=1.5"});
   ASSERT_TRUE(options.has_value());
-  EXPECT_DEATH((void)options->GetInt("n", 0), "not a number");
-  EXPECT_DEATH((void)options->GetInt("f", 0), "not an integer");
-  EXPECT_DEATH((void)options->GetBool("n", false), "not a boolean");
+  EXPECT_TRUE(options->error().empty());
+
+  // Bad values fall back and record a diagnostic naming the key; the first
+  // error sticks so a tool reports the earliest offender.
+  EXPECT_EQ(7, options->GetInt("n", 7));
+  EXPECT_NE(options->error().find("'n'"), std::string::npos);
+  EXPECT_NE(options->error().find("not a number"), std::string::npos);
+  EXPECT_EQ(0, options->GetInt("f", 0));       // 1.5 is not an integer.
+  EXPECT_FALSE(options->GetBool("n", false));  // "abc" is not a boolean.
+  EXPECT_NE(options->error().find("'n'"), std::string::npos);
+}
+
+TEST(OptionsTest, WellTypedReadsLeaveErrorEmpty) {
+  const auto options = ParseArgs({"n=3", "f=1.5", "b=true"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(3, options->GetInt("n", 0));
+  EXPECT_DOUBLE_EQ(1.5, options->GetDouble("f", 0.0));
+  EXPECT_TRUE(options->GetBool("b", false));
+  EXPECT_TRUE(options->error().empty());
 }
 
 }  // namespace

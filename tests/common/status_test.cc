@@ -1,0 +1,105 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pad {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(StatusCode::kOk, status.code());
+  EXPECT_EQ("ok", status.ToString());
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status status = Status::InvalidArgument("users must be positive");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(StatusCode::kInvalidArgument, status.code());
+  EXPECT_EQ("users must be positive", status.message());
+  EXPECT_EQ("invalid_argument: users must be positive", status.ToString());
+}
+
+TEST(StatusTest, ExitCodesAreDistinctPerFailureClass) {
+  const std::vector<Status> failures = {
+      Status::InvalidArgument("a"), Status::NotFound("b"),
+      Status::FailedPrecondition("c"), Status::DataLoss("d"),
+      Status::Internal("e")};
+  std::set<int> codes;
+  for (const Status& status : failures) {
+    const int code = ExitCodeFor(status);
+    EXPECT_NE(0, code) << status.ToString();
+    codes.insert(code);
+  }
+  EXPECT_EQ(failures.size(), codes.size()) << "exit codes must be distinct";
+  EXPECT_EQ(0, ExitCodeFor(Status::Ok()));
+  // Unavailable shares the I/O exit class with NotFound by design.
+  EXPECT_EQ(ExitCodeFor(Status::NotFound("x")), ExitCodeFor(Status::Unavailable("y")));
+}
+
+TEST(StatusOrTest, HoldsValueWhenOk) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(42, *result);
+  EXPECT_EQ(42, result.value());
+}
+
+TEST(StatusOrTest, PropagatesStatusWhenFailed) {
+  StatusOr<std::string> result = Status::NotFound("no such file");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(StatusCode::kNotFound, result.status().code());
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::vector<int>> result = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(result.ok());
+  const std::vector<int> taken = *std::move(result);
+  EXPECT_EQ(3u, taken.size());
+}
+
+Status FailIfNegative(int value) {
+  if (value < 0) {
+    return Status::InvalidArgument("negative");
+  }
+  return Status::Ok();
+}
+
+Status CheckBoth(int a, int b) {
+  PAD_RETURN_IF_ERROR(FailIfNegative(a));
+  PAD_RETURN_IF_ERROR(FailIfNegative(b));
+  return Status::Ok();
+}
+
+StatusOr<int> Half(int value) {
+  if (value % 2 != 0) {
+    return Status::InvalidArgument("odd");
+  }
+  return value / 2;
+}
+
+StatusOr<int> Quarter(int value) {
+  PAD_ASSIGN_OR_RETURN(const int half, Half(value));
+  PAD_ASSIGN_OR_RETURN(const int quarter, Half(half));
+  return quarter;
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(CheckBoth(1, 2).ok());
+  EXPECT_EQ(StatusCode::kInvalidArgument, CheckBoth(-1, 2).code());
+  EXPECT_EQ(StatusCode::kInvalidArgument, CheckBoth(1, -2).code());
+}
+
+TEST(StatusMacrosTest, AssignOrReturnUnwrapsAndPropagates) {
+  const StatusOr<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(2, *ok);
+  EXPECT_FALSE(Quarter(6).ok());  // Inner Half(3) fails.
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+}  // namespace
+}  // namespace pad

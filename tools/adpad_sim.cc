@@ -32,17 +32,35 @@
 //                                           (execution-only; 0 = hw)
 //   max_resident_users=N                    resident-memory budget for the
 //                                           streaming engine (0 = unlimited)
+//   checkpoint=<path>                       journal each completed market to
+//                                           this file and resume from it; a
+//                                           SIGINT/SIGTERM drains in-flight
+//                                           markets, flushes the journal, and
+//                                           exits 130 with resume instructions
+//   checkpoint_fsync=bool                   fsync each journal record (default
+//                                           true; off trades crash safety for
+//                                           throughput)
+//   watchdog_s=S                            report (to stderr) any market
+//                                           running longer than S seconds
 //   sweep_users=a,b,c                       paired run per population size,
 //                                           fanned across `threads`
 //   csv_out=<path>                          append a machine-readable row
 //   label=<text>                            row label for the CSV
+//
+// Exit codes: 0 ok, 1 invalid argument/config, 2 missing or unwritable file,
+// 3 stale checkpoint (fingerprint mismatch), 4 corrupt data, 5 internal,
+// 130 interrupted by signal (journal flushed; rerun to resume).
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
+#include <utility>
 #include <vector>
 
 #include "src/common/csv.h"
 #include "src/common/options.h"
 #include "src/common/stats.h"
+#include "src/common/status.h"
 #include "src/common/table.h"
 #include "src/common/thread_pool.h"
 #include "src/core/pad_simulation.h"
@@ -52,6 +70,12 @@
 
 namespace pad {
 namespace {
+
+// Flipped by SIGINT/SIGTERM; the shard engine polls it between markets.
+// Lock-free atomic<bool> stores are async-signal-safe.
+std::atomic<bool> g_stop_requested{false};
+
+void HandleStopSignal(int) { g_stop_requested.store(true); }
 
 std::vector<int> ParseIntList(const std::string& text) {
   std::vector<int> values;
@@ -198,15 +222,30 @@ int RunTool(const Options& options) {
   const std::string label = options.GetString("label", "run");
   const int threads = options.GetInt("threads", 1);
   const std::string sweep_users = options.GetString("sweep_users", "");
-  const bool use_shard_engine =
-      options.Has("shards") || options.Has("max_resident_users") || config.market_users > 0;
+  const bool use_shard_engine = options.Has("shards") || options.Has("max_resident_users") ||
+                                options.Has("checkpoint") || config.market_users > 0;
   ShardEngineOptions shard_options;
   shard_options.shards = options.GetInt("shards", 1);
   shard_options.threads = threads;
   shard_options.max_resident_users = options.GetInt("max_resident_users", 0);
+  shard_options.checkpoint_path = options.GetString("checkpoint", "");
+  shard_options.checkpoint_fsync = options.GetBool("checkpoint_fsync", true);
+  shard_options.market_watchdog_s = options.GetDouble("watchdog_s", 0.0);
+  if (shard_options.market_watchdog_s > 0.0) {
+    shard_options.on_stall = [](int lane, int market, double elapsed_s) {
+      std::cerr << "adpad_sim: watchdog: lane " << lane << " has been in market " << market
+                << " for " << FormatDouble(elapsed_s, 1) << " s\n";
+    };
+  }
 
   for (const std::string& key : options.UnusedKeys()) {
     std::cerr << "warning: unknown option '" << key << "' ignored\n";
+  }
+  // A mistyped value (users=ten) lands here, not in an abort: the getters
+  // record the first type error and fall back to the default.
+  if (!options.error().empty()) {
+    std::cerr << "adpad_sim: " << options.error() << "\n";
+    return 1;
   }
 
   // Reject bad knob combinations up front with a readable message rather
@@ -246,16 +285,47 @@ int RunTool(const Options& options) {
       std::cerr << "adpad_sim: invalid shard options: " << err << "\n";
       return 1;
     }
+    // Graceful shutdown: a signal drains in-flight markets (each lands in
+    // the journal) instead of killing mid-write.
+    shard_options.stop_requested = &g_stop_requested;
+    std::signal(SIGINT, HandleStopSignal);
+    std::signal(SIGTERM, HandleStopSignal);
     std::cout << "running streaming '" << mode << "': " << config.population.num_users
               << " users, market_users=" << config.market_users
               << ", shards=" << shard_options.shards << ", threads=" << threads
-              << ", max_resident_users=" << shard_options.max_resident_users << "\n";
-    const ShardedComparison sharded = RunShardedComparison(config, shard_options);
+              << ", max_resident_users=" << shard_options.max_resident_users;
+    if (!shard_options.checkpoint_path.empty()) {
+      std::cout << ", checkpoint=" << shard_options.checkpoint_path;
+    }
+    std::cout << "\n";
+    StatusOr<ShardedComparison> sharded_or = RunShardedResumable(config, shard_options);
+    if (!sharded_or.ok()) {
+      std::cerr << "adpad_sim: " << sharded_or.status().ToString() << "\n";
+      return ExitCodeFor(sharded_or.status());
+    }
+    const ShardedComparison sharded = *std::move(sharded_or);
+    if (sharded.resumed_markets > 0) {
+      std::cout << "resumed " << sharded.resumed_markets << "/" << sharded.num_markets
+                << " markets from " << shard_options.checkpoint_path << "\n";
+    }
     std::cout << "markets=" << sharded.num_markets
               << " sessions=" << sharded.total_sessions
               << " peak_resident_users=" << sharded.peak_resident_users
               << " generate_s=" << FormatDouble(sharded.generate_seconds, 2)
               << " simulate_s=" << FormatDouble(sharded.simulate_seconds, 2) << "\n";
+    if (sharded.interrupted) {
+      const size_t done = sharded.market_pad_digests.size();
+      std::cerr << "adpad_sim: interrupted; " << done << "/" << sharded.num_markets
+                << " markets completed";
+      if (shard_options.checkpoint_path.empty()) {
+        std::cerr << " (no checkpoint; completed work is lost)";
+      } else {
+        std::cerr << " and journaled; rerun the same command to resume from "
+                  << shard_options.checkpoint_path;
+      }
+      std::cerr << "\n";
+      return 130;
+    }
 
     TextTable table({"metric", "baseline", "pad"});
     const BaselineResult& sb = sharded.totals.baseline;
@@ -282,13 +352,24 @@ int RunTool(const Options& options) {
     return 0;
   }
 
-  // Build inputs, optionally around an external trace.
+  // Build inputs, optionally around an external trace. A missing or
+  // malformed trace file is a user error with a one-line diagnostic, never
+  // an abort.
+  Population external;
+  if (!trace_in.empty()) {
+    std::cout << "loading trace from " << trace_in << "\n";
+    StatusOr<Population> loaded = LoadTraceFile(trace_in);
+    if (!loaded.ok()) {
+      std::cerr << "adpad_sim: " << loaded.status().ToString() << "\n";
+      return ExitCodeFor(loaded.status());
+    }
+    external = *std::move(loaded);
+  }
   SimInputs inputs = [&] {
     if (trace_in.empty()) {
       return GenerateInputs(config);
     }
-    std::cout << "loading trace from " << trace_in << "\n";
-    SimInputs loaded{ReadTraceFile(trace_in), AppCatalog::TopFifteen(), {}};
+    SimInputs loaded{std::move(external), AppCatalog::TopFifteen(), {}};
     CampaignStreamConfig campaign_config = config.campaigns;
     campaign_config.horizon_s = loaded.population.horizon_s;
     campaign_config.display_deadline_s = config.deadline_s;
