@@ -147,7 +147,7 @@ int RunScaleCeiling(const ScaleOptions& scale, const SweepOptions& sweep,
   json.Add("sessions", static_cast<double>(result.total_sessions), "count", label);
   json.Add("peak_resident_users", static_cast<double>(result.peak_resident_users), "users",
            label);
-  json.Add("users_per_s", users_per_s, "users/s", label);
+  json.Add("users_per_sec", users_per_s, "users/s", label);
   json.Add("peak_rss_mib", rss_mib, "MiB", label);
 
   if (scale.measure_checkpoint) {

@@ -391,6 +391,13 @@ uint64_t ConfigFingerprint(const PadConfig& config) {
       .Mix(pop.min_session_s)
       .Mix(pop.max_session_s)
       .Mix(pop.seed);
+  // Mixed only when the skew is active so journals written before the knob
+  // existed (and by skew-free configs since) keep their fingerprints. A
+  // disabled skew cannot change a single draw, so omitting it is exact, not
+  // an approximation.
+  if (pop.skew_heavy_fraction > 0.0) {
+    fp.Mix(pop.skew_heavy_fraction).Mix(pop.skew_rate_multiplier);
+  }
 
   const CampaignStreamConfig& camp = config.campaigns;
   fp.Mix(camp.horizon_s)

@@ -54,6 +54,12 @@ std::string ValidateConfig(const PadConfig& config) {
   if (config.market_users < 0) {
     return "market_users must be non-negative (0 = one market for the whole population)";
   }
+  if (!InUnit(config.population.skew_heavy_fraction)) {
+    return "population.skew_heavy_fraction must be in [0, 1]";
+  }
+  if (!(config.population.skew_rate_multiplier > 0.0)) {
+    return "population.skew_rate_multiplier must be positive";
+  }
 
   // --- Policy knobs -------------------------------------------------------
   if (!(config.capacity_confidence > 0.0 && config.capacity_confidence < 1.0)) {

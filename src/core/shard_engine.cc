@@ -1,14 +1,19 @@
 #include "src/core/shard_engine.h"
 
+#include <time.h>
+
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
 
 #include "src/apps/app_profile.h"
 #include "src/common/check.h"
+#include "src/common/task_scheduler.h"
 #include "src/common/thread_pool.h"
 #include "src/core/checkpoint.h"
 #include "src/core/event_log.h"
@@ -84,6 +89,26 @@ PadConfig MarketConfig(const PadConfig& aligned, int market, int64_t lo, int64_t
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// CPU time consumed by the calling thread. Per-market costs are measured on
+// this clock so per-worker sums report true load balance even when workers
+// outnumber cores and wall clock would charge preemption to whoever held the
+// core last.
+double ThreadCpuSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+// Worker count: shards and threads are aliases for the same resource (the
+// scheduler gives every worker its own deque AND its own thread), so take
+// the stronger ask; 0 in either means "the hardware". Never more workers
+// than markets.
+int ResolveWorkers(const ShardEngineOptions& options, int num_markets) {
+  const int shards = options.shards <= 0 ? ThreadPool::HardwareThreads() : options.shards;
+  const int threads = options.threads <= 0 ? ThreadPool::HardwareThreads() : options.threads;
+  return std::max(1, std::min(num_markets, std::max(shards, threads)));
 }
 
 // Per-lane progress slot the watchdog thread polls: which market the lane is
@@ -165,9 +190,7 @@ StatusOr<ShardedComparison> RunShardedResumable(const PadConfig& config,
   const std::vector<int64_t> boundaries = MarketBoundaries(num_users, aligned.market_users);
   const int num_markets = static_cast<int>(boundaries.size()) - 1;
 
-  const int lanes = std::max(
-      1, std::min(num_markets,
-                  options.shards <= 0 ? ThreadPool::HardwareThreads() : options.shards));
+  const int lanes = ResolveWorkers(options, num_markets);
 
   // Per-market result slots: restored from the journal or filled by a lane.
   // `completed[m]` marks slots holding a finished market (plain bytes written
@@ -255,77 +278,88 @@ StatusOr<ShardedComparison> RunShardedResumable(const PadConfig& config,
     });
   }
 
-  // Each lane owns a contiguous market range and streams it through its own
-  // PopulationStream: one skip to the lane's first user, then strictly
-  // sequential generation, so the per-lane replay cost is O(num_users) total
-  // whatever the lane count. Markets already in the journal are skipped with
-  // SkipUsers — bit-identical to generating, at a fraction of the cost.
-  ThreadPool pool(options.threads);
-  pool.ParallelFor(lanes, [&](int64_t lane) {
-    const int first = static_cast<int>(lane * num_markets / lanes);
-    const int last = static_cast<int>((lane + 1) * num_markets / lanes);
-    if (first == last) {
-      return;
+  // Markets are tasks on the work-stealing scheduler: each worker owns the
+  // contiguous range [lane*M/W, (lane+1)*M/W) as its deque and drains it
+  // front to back, so its own PopulationStream walks users strictly forward
+  // (SeekUsers degenerates to a no-op between adjacent markets and the
+  // per-worker replay cost stays O(num_users) on the no-steal path). A
+  // stolen market — or a market restored from the journal mid-range — just
+  // reseeks: forward by skipping, backward by replaying the parameter stream
+  // from user 0, both bit-identical to sequential generation. Under
+  // schedule=static no stealing happens and every worker runs exactly its
+  // initial range, the A/B baseline.
+  std::vector<std::unique_ptr<PopulationStream>> streams;
+  streams.reserve(static_cast<size_t>(lanes));
+  for (int lane = 0; lane < lanes; ++lane) {
+    streams.push_back(std::make_unique<PopulationStream>(aligned.population));
+  }
+  // Scheduler execution trace, one writer per market (its executor), read
+  // after the scheduler joins.
+  std::vector<int> market_workers(static_cast<size_t>(num_markets), -1);
+  std::vector<double> market_busy_s(static_cast<size_t>(num_markets), 0.0);
+
+  const auto run_market = [&](int lane, int64_t task) {
+    const int m = static_cast<int>(task);
+    if (completed[static_cast<size_t>(m)]) {
+      return;  // Restored from the journal; nothing to simulate.
     }
-    PopulationStream stream(aligned.population);
-    stream.SkipUsers(boundaries[static_cast<size_t>(first)]);
-    for (int m = first; m < last; ++m) {
-      const int64_t lo = boundaries[static_cast<size_t>(m)];
-      const int64_t hi = boundaries[static_cast<size_t>(m) + 1];
-      if (completed[static_cast<size_t>(m)]) {
-        stream.SkipUsers(hi - lo);  // Restored from the journal.
-        continue;
-      }
-      // Graceful shutdown: finish nothing new once the flag flips. Markets
-      // already simulated stay journaled, so a rerun resumes cleanly.
-      if (options.stop_requested != nullptr && options.stop_requested->load()) {
-        interrupted.store(true);
-        break;
-      }
-      gate.Acquire(hi - lo);
-      MarketRecord& out = results[static_cast<size_t>(m)];
-      out.market = m;
-      watch[static_cast<size_t>(lane)].start_ms.store(now_ms());
-      watch[static_cast<size_t>(lane)].market.store(m);
+    const int64_t lo = boundaries[static_cast<size_t>(m)];
+    const int64_t hi = boundaries[static_cast<size_t>(m) + 1];
+    gate.Acquire(hi - lo);
+    MarketRecord& out = results[static_cast<size_t>(m)];
+    out.market = m;
+    watch[static_cast<size_t>(lane)].start_ms.store(now_ms());
+    watch[static_cast<size_t>(lane)].market.store(m);
+    const double busy_start = ThreadCpuSeconds();
 
-      {
-        const auto generate_start = std::chrono::steady_clock::now();
-        const PadConfig market_config =
-            MarketConfig(aligned, m, lo, hi, num_users, num_markets);
-        SimInputs inputs{stream.NextBlock(hi - lo), AppCatalog::TopFifteen(),
-                         GenerateCampaignStream(market_config.campaigns)};
-        for (const UserTrace& user : inputs.population.users) {
-          out.sessions += static_cast<int64_t>(user.sessions.size());
-        }
-        out.generate_seconds = SecondsSince(generate_start);
-
-        const auto simulate_start = std::chrono::steady_clock::now();
-        if (options.run_baseline) {
-          out.baseline = RunBaseline(market_config, inputs);
-          out.baseline_digest = MetricsDigest(out.baseline);
-        }
-        EventLog log;
-        out.pad = RunPad(market_config, inputs, options.event_digests ? &log : nullptr);
-        out.pad_digest = MetricsDigest(out.pad);
-        if (options.event_digests) {
-          out.event_digest = log.Digest();
-        }
-        out.simulate_seconds = SecondsSince(simulate_start);
-        // Free the market's traces (and its event log) before admitting more
-        // users: `inputs` goes out of scope here.
+    {
+      const auto generate_start = std::chrono::steady_clock::now();
+      PopulationStream& stream = *streams[static_cast<size_t>(lane)];
+      stream.SeekUsers(lo);
+      const PadConfig market_config = MarketConfig(aligned, m, lo, hi, num_users, num_markets);
+      SimInputs inputs{stream.NextBlock(hi - lo), AppCatalog::TopFifteen(),
+                       GenerateCampaignStream(market_config.campaigns)};
+      for (const UserTrace& user : inputs.population.users) {
+        out.sessions += static_cast<int64_t>(user.sessions.size());
       }
-      watch[static_cast<size_t>(lane)].market.store(-1);
-      gate.Release(hi - lo);
+      out.generate_seconds = SecondsSince(generate_start);
 
-      if (writer != nullptr) {
-        std::lock_guard<std::mutex> lock(journal_mutex);
-        if (journal_status.ok()) {
-          journal_status = writer->Append(out);
-        }
+      const auto simulate_start = std::chrono::steady_clock::now();
+      if (options.run_baseline) {
+        out.baseline = RunBaseline(market_config, inputs);
+        out.baseline_digest = MetricsDigest(out.baseline);
       }
-      completed[static_cast<size_t>(m)] = 1;
+      EventLog log;
+      out.pad = RunPad(market_config, inputs, options.event_digests ? &log : nullptr);
+      out.pad_digest = MetricsDigest(out.pad);
+      if (options.event_digests) {
+        out.event_digest = log.Digest();
+      }
+      out.simulate_seconds = SecondsSince(simulate_start);
+      // Free the market's traces (and its event log) before admitting more
+      // users: `inputs` goes out of scope here.
     }
-  });
+    market_busy_s[static_cast<size_t>(m)] = ThreadCpuSeconds() - busy_start;
+    market_workers[static_cast<size_t>(m)] = lane;
+    watch[static_cast<size_t>(lane)].market.store(-1);
+    gate.Release(hi - lo);
+
+    if (writer != nullptr) {
+      std::lock_guard<std::mutex> lock(journal_mutex);
+      if (journal_status.ok()) {
+        journal_status = writer->Append(out);
+      }
+    }
+    completed[static_cast<size_t>(m)] = 1;
+  };
+
+  TaskSchedulerOptions scheduler_options;
+  scheduler_options.stealing = options.schedule == ScheduleMode::kStealing;
+  scheduler_options.steal_seed = options.steal_seed;
+  scheduler_options.stop_requested = options.stop_requested;
+  const TaskSchedulerStats scheduler_stats =
+      RunTaskQueues(PartitionTasks(num_markets, lanes), run_market, scheduler_options);
+  interrupted.store(interrupted.load() || scheduler_stats.interrupted);
 
   watch_done.store(true);
   if (watchdog.joinable()) {
@@ -341,6 +375,10 @@ StatusOr<ShardedComparison> RunShardedResumable(const PadConfig& config,
   merged.total_users = num_users;
   merged.resumed_markets = resumed;
   merged.interrupted = interrupted.load();
+  merged.market_workers = std::move(market_workers);
+  merged.market_busy_s = std::move(market_busy_s);
+  merged.workers_used = scheduler_stats.workers;
+  merged.tasks_stolen = scheduler_stats.stolen;
   bool first_market = true;
   for (int m = 0; m < num_markets; ++m) {
     if (completed[static_cast<size_t>(m)] == 0) {

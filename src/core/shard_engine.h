@@ -21,14 +21,17 @@
 //     population: byte-identical to RunComparison, which the shard
 //     equivalence test enforces.
 //
-//   * ShardEngineOptions (shards, threads, max_resident_users) are
-//     EXECUTION-ONLY. For a fixed config, every metric and event-log digest
-//     is byte-identical for any shard count, thread count, and residency
-//     budget — including under fault injection. This extends the sweep
-//     engine's determinism contract and holds for the same reasons: every
-//     market job is hermetic (its own RNG streams replayed from the
-//     population seed, its own exchange/server/clients), and results are
-//     slotted by market index, never by completion order.
+//   * ShardEngineOptions (shards, threads, schedule, steal_seed,
+//     max_resident_users) are EXECUTION-ONLY. For a fixed config, every
+//     metric and event-log digest is byte-identical for any worker count,
+//     schedule (static or work-stealing), steal seed, and residency budget —
+//     including under fault injection. This extends the sweep engine's
+//     determinism contract and holds for the same reasons: every market job
+//     is hermetic (its own RNG streams replayed from the population seed,
+//     its own exchange/server/clients), and results are slotted by market
+//     index, never by completion order. That order-independence is exactly
+//     what frees the scheduler (src/common/task_scheduler.h, DESIGN.md §10)
+//     to move markets between workers at will.
 //
 // Crash safety (core/checkpoint.h) extends the same contract into the crash
 // dimension: with a checkpoint_path set, every completed market is journaled
@@ -54,13 +57,33 @@
 
 namespace pad {
 
+// How markets are handed to the worker lanes.
+enum class ScheduleMode {
+  // Each worker runs exactly its contiguous initial range of markets — the
+  // historical behavior, kept for A/B against stealing. On a skewed
+  // population the worker owning the heavy markets becomes the critical
+  // path while the rest idle.
+  kStatic,
+  // Work stealing (src/common/task_scheduler.h): each worker drains its own
+  // range front-to-back but takes markets from the back of another worker's
+  // queue rather than idle. The default — on balanced populations it
+  // degenerates to the static schedule (no worker ever runs dry early).
+  kStealing,
+};
+
 struct ShardEngineOptions {
-  // Shard worker lanes. Each lane streams a contiguous range of markets
-  // through its own PopulationStream. 0 asks the hardware.
+  // Worker lanes, each an OS thread owning a deque of markets and its own
+  // PopulationStream. `shards` and `threads` are historical aliases for the
+  // same resource and the engine runs max(shards, threads) workers (capped
+  // at the market count); 0 in either asks the hardware.
   int shards = 1;
-  // Thread-pool size executing the lanes (lanes beyond this queue). 0 asks
-  // the hardware; 1 runs every lane inline on the caller.
   int threads = 1;
+  // Market hand-off policy. Execution-only, like every knob below: results
+  // are byte-identical under either schedule.
+  ScheduleMode schedule = ScheduleMode::kStealing;
+  // Seed for the steal victim-scan order (execution-only; tests sweep it to
+  // exercise different steal interleavings).
+  uint64_t steal_seed = 0;
   // Upper bound on users resident (generated but not yet freed) across all
   // lanes at any instant; an admission gate blocks a lane whose next market
   // would exceed it. 0 = unlimited. Must be >= the largest market.
@@ -119,6 +142,15 @@ struct ShardedComparison {
   // generation vs client/server simulation.
   double generate_seconds = 0.0;
   double simulate_seconds = 0.0;
+
+  // Scheduler execution trace (never checkpointed — a resumed market was not
+  // executed, so it keeps worker -1 and zero busy time). market_busy_s is
+  // thread-CPU seconds, so per-worker sums measure load balance faithfully
+  // even on an oversubscribed machine where wall clock cannot.
+  std::vector<int> market_workers;      // Worker that simulated each market.
+  std::vector<double> market_busy_s;    // Thread-CPU cost of each market.
+  int workers_used = 0;
+  int64_t tasks_stolen = 0;             // Markets run by a non-initial owner.
 
   // Markets restored from the checkpoint journal instead of simulated.
   int resumed_markets = 0;

@@ -32,6 +32,13 @@ UserParams SampleOneUser(const PopulationConfig& config, std::span<const double>
   params.duration_mu = archetype.session_duration_mu;
   params.duration_sigma = archetype.session_duration_sigma;
   params.phase_shift_h = rng.Normal(0.0, config.phase_jitter_h);
+  // Heavy-cluster skew: a pure function of the user id, applied after every
+  // draw for this user, so the RNG stream position is identical at any skew
+  // setting (the skip bit-identity contract) and fraction 0 leaves the rate
+  // untouched bit for bit.
+  if (user < SkewHeavyUsers(config)) {
+    params.sessions_per_day *= config.skew_rate_multiplier;
+  }
   PAD_CHECK(config.num_segments >= 1);
   params.segment = static_cast<int>(rng.UniformInt(0, config.num_segments - 1));
   params.app_rank = rng.Permutation(config.num_apps);
@@ -45,6 +52,14 @@ void CheckPopulationConfig(const PopulationConfig& config) {
 }
 
 }  // namespace
+
+int64_t SkewHeavyUsers(const PopulationConfig& config) {
+  if (!(config.skew_heavy_fraction > 0.0)) {
+    return 0;
+  }
+  const double heavy = config.skew_heavy_fraction * static_cast<double>(config.num_users);
+  return std::min<int64_t>(config.num_users, std::llround(heavy));
+}
 
 std::vector<UserParams> SampleUserParams(const PopulationConfig& config) {
   CheckPopulationConfig(config);
@@ -130,6 +145,18 @@ void PopulationStream::SkipUsers(int64_t count) {
     // the trace itself leaves the root stream exactly one draw further.
     (void)fork_root_.NextU64();
   }
+}
+
+void PopulationStream::SeekUsers(int64_t user) {
+  PAD_CHECK(user >= 0 && user <= config_.num_users);
+  if (user < cursor_) {
+    // The parameter streams only advance; rewind by restarting them exactly
+    // as the constructor does and replaying forward.
+    param_rng_ = Rng(config_.seed);
+    fork_root_ = Rng(config_.seed ^ 0xda7a5eedull);
+    cursor_ = 0;
+  }
+  SkipUsers(user - cursor_);
 }
 
 Population PopulationStream::NextBlock(int64_t count) {

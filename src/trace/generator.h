@@ -54,8 +54,25 @@ struct PopulationConfig {
   double min_session_s = 10.0;
   double max_session_s = 2.0 * kHour;
 
+  // Heavy-cluster population skew (the work-stealing scheduler's stress
+  // workload, E19): the first `round(skew_heavy_fraction * num_users)` users
+  // get their base session rate multiplied by `skew_rate_multiplier`.
+  // Because user ids map to contiguous markets in the shard engine, a heavy
+  // prefix concentrates simulation cost in the first markets — the
+  // imbalance a static partition cannot absorb. The skew is a deterministic
+  // function of the user id alone and consumes NO RNG draws, so any setting
+  // leaves the parameter stream aligned: PopulationStream's skip stays
+  // bit-identical to sequential generation, and fraction 0 (the default) is
+  // bit-identical to builds that predate the knob.
+  double skew_heavy_fraction = 0.0;   // In [0, 1]; 0 disables the skew.
+  double skew_rate_multiplier = 1.0;  // > 0; heavy users' rate scale.
+
   uint64_t seed = 42;
 };
+
+// Users [0, SkewHeavyUsers(config)) are the heavy cluster; 0 when the skew
+// is disabled. Exposed so benches can align the cluster to market bounds.
+int64_t SkewHeavyUsers(const PopulationConfig& config);
 
 // Draws the per-user parameters for a population. Exposed separately so
 // tests and the prediction experiments can inspect ground-truth rates.
@@ -92,6 +109,14 @@ class PopulationStream {
   // O(count) parameter draws — no session-level work and no allocation
   // proportional to trace length.
   void SkipUsers(int64_t count);
+
+  // Repositions the cursor at `user`, in either direction. Forward seeks are
+  // a SkipUsers; backward seeks restart the parameter streams from user 0
+  // and skip forward (the streams only advance), costing O(user) parameter
+  // draws. Either way the stream lands in exactly the state sequential
+  // generation would have reached — the property a work-stealing shard
+  // worker needs when it takes a market outside its own contiguous run.
+  void SeekUsers(int64_t user);
 
   // Generates users [cursor, cursor + count), advancing the cursor.
   // Requires cursor + count <= config.num_users.

@@ -135,6 +135,29 @@ TEST(ConfigFingerprintTest, EqualConfigsAgreeAndSemanticKnobsDiffer) {
   }
 }
 
+TEST(ConfigFingerprintTest, SkewKnobsAreSemanticOnlyWhenEnabled) {
+  // Enabled skew is semantic: fraction and multiplier each change traces, so
+  // each must change the fingerprint (and so invalidate old journals).
+  const PadConfig base = QuickConfig();
+  PadConfig skewed = base;
+  skewed.population.skew_heavy_fraction = 0.1;
+  skewed.population.skew_rate_multiplier = 10.0;
+  EXPECT_NE(ConfigFingerprint(base), ConfigFingerprint(skewed));
+  PadConfig wider = skewed;
+  wider.population.skew_heavy_fraction = 0.2;
+  EXPECT_NE(ConfigFingerprint(skewed), ConfigFingerprint(wider));
+  PadConfig heavier = skewed;
+  heavier.population.skew_rate_multiplier = 20.0;
+  EXPECT_NE(ConfigFingerprint(skewed), ConfigFingerprint(heavier));
+
+  // Disabled skew (fraction == 0) changes no trace regardless of the
+  // multiplier, and pre-skew journals must stay resumable: the fingerprint
+  // only mixes the knobs when the skew is live.
+  PadConfig disabled = base;
+  disabled.population.skew_rate_multiplier = 10.0;  // Inert: fraction is 0.
+  EXPECT_EQ(ConfigFingerprint(base), ConfigFingerprint(disabled));
+}
+
 TEST(CheckpointTest, RoundTripIsFieldExact) {
   const std::string path = TempPath("ckpt_roundtrip.ckpt");
   WriteTestJournal(path, 3);

@@ -140,6 +140,26 @@ TEST(ValidateConfigTest, RejectsEmptyPopulationAndBadSegments) {
   EXPECT_TRUE(MessageNames(ValidateConfig(config), "num_segments"));
 }
 
+TEST(ValidateConfigTest, RejectsOutOfRangeSkewKnobs) {
+  PadConfig config;
+  config.population.skew_heavy_fraction = -0.1;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "skew_heavy_fraction"));
+  config.population.skew_heavy_fraction = 1.5;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "skew_heavy_fraction"));
+
+  config = PadConfig{};
+  config.population.skew_rate_multiplier = 0.0;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "skew_rate_multiplier"));
+  config.population.skew_rate_multiplier = -3.0;
+  EXPECT_TRUE(MessageNames(ValidateConfig(config), "skew_rate_multiplier"));
+
+  // The boundary settings are all legal: no skew, full skew, damping below 1.
+  config = PadConfig{};
+  config.population.skew_heavy_fraction = 1.0;
+  config.population.skew_rate_multiplier = 0.5;
+  EXPECT_EQ(ValidateConfig(config), "");
+}
+
 TEST(ValidateConfigTest, RejectsOutOfRangePolicyKnobs) {
   PadConfig config;
   config.capacity_confidence = 1.0;

@@ -252,6 +252,99 @@ TEST(CrashRecoveryTest, GracefulStopDrainsJournalsAndResumes) {
   ExpectSameResult(golden, finished);
 }
 
+// Heavy-cluster skew (first market ~10x the rest) so multi-worker runs
+// actually steal — the crash and the drain below must land while workers
+// hold markets taken from another worker's queue.
+PadConfig SkewedConfig() {
+  PadConfig config = TestConfig();
+  config.population.skew_heavy_fraction = 0.25;
+  config.population.skew_rate_multiplier = 10.0;
+  return config;
+}
+
+ShardEngineOptions StealingOptions(int workers) {
+  ShardEngineOptions options = BaseOptions();
+  options.shards = workers;
+  options.threads = workers;
+  options.schedule = ScheduleMode::kStealing;
+  options.steal_seed = 42;
+  return options;
+}
+
+TEST(CrashRecoveryTest, SigkillUnderStealingThenResumeMatchesGolden) {
+  const PadConfig config = SkewedConfig();
+  const ShardedComparison golden = MustRun(config, BaseOptions());
+
+  // Sanity: this workload does steal when run multi-worker to completion.
+  // Two workers over four markets: worker 0's queue is {heavy, light},
+  // worker 1 drains its two light markets and then takes worker 0's tail.
+  EXPECT_GT(MustRun(config, StealingOptions(2)).tasks_stolen, 0);
+
+  for (size_t i = 0; i < 4; ++i) {
+    const int kill_delay_ms = 5 + 40 * static_cast<int>(i);
+    SCOPED_TRACE("kill after " + std::to_string(kill_delay_ms) + " ms");
+    const std::string path =
+        TempPath("crash_steal_" + std::to_string(i) + "_" + std::to_string(getpid()) + ".ckpt");
+    std::remove(path.c_str());
+
+    // The child dies by SIGKILL while its workers run a stolen-market
+    // interleaving and journal appends race the kill. All scheduler threads
+    // of prior parent runs are joined before this fork, so the child starts
+    // from a single-threaded image.
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      ShardEngineOptions child_options = StealingOptions(2);
+      child_options.checkpoint_path = path;
+      (void)RunShardedResumable(config, child_options);
+      _exit(0);  // Skip gtest teardown in the child.
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(kill_delay_ms));
+    kill(child, SIGKILL);
+    int wstatus = 0;
+    ASSERT_EQ(child, waitpid(child, &wstatus, 0));
+
+    // Resume with a different worker count and steal seed than the crashed
+    // run: journals must be portable across every execution knob.
+    ShardEngineOptions resume_options = StealingOptions(8);
+    resume_options.steal_seed = 7;
+    resume_options.checkpoint_path = path;
+    ExpectSameResult(golden, MustRun(config, resume_options));
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CrashRecoveryTest, GracefulStopUnderStealingDrainsAndResumes) {
+  const PadConfig config = SkewedConfig();
+  const ShardedComparison golden = MustRun(config, BaseOptions());
+  const std::string path = TempPath("crash_stop_steal.ckpt");
+  std::remove(path.c_str());
+
+  // Flip the stop flag while two stealing workers are mid-market (two
+  // markets per queue, so steals can be in flight): each worker finishes
+  // (and journals) the market it holds — stolen or not — and takes nothing
+  // more.
+  std::atomic<bool> stop{false};
+  ShardEngineOptions options = StealingOptions(2);
+  options.checkpoint_path = path;
+  options.stop_requested = &stop;
+  std::thread flipper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stop.store(true);
+  });
+  const ShardedComparison drained = MustRun(config, options);
+  flipper.join();
+  EXPECT_LE(static_cast<int>(drained.market_pad_digests.size()), golden.num_markets);
+
+  // The journal holds exactly the drained markets; a stealing resume
+  // completes the rest and lands on the golden, bit for bit.
+  stop.store(false);
+  const ShardedComparison finished = MustRun(config, options);
+  EXPECT_EQ(static_cast<int>(drained.market_pad_digests.size()), finished.resumed_markets);
+  ExpectSameResult(golden, finished);
+  std::remove(path.c_str());
+}
+
 TEST(CrashRecoveryTest, StaleFingerprintAndFlagMismatchesAreRefused) {
   const PadConfig config = TestConfig();
   const std::string path = TempPath("crash_stale.ckpt");

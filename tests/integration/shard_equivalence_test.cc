@@ -3,8 +3,8 @@
 //   1. market_users = 0 (one market) is byte-identical to the monolithic
 //      RunComparison path — metrics and event-log digests both.
 //   2. For a fixed config (any market_users), results are byte-identical for
-//      every shard count, thread count, and residency budget — including
-//      under fault injection.
+//      every shard count, thread count, schedule (static or work-stealing),
+//      steal seed, and residency budget — including under fault injection.
 //
 // Digests are FNV-1a over every metrics field (sweep.h), so "digest equal"
 // here means "bit-identical", not "approximately equal".
@@ -141,6 +141,114 @@ TEST(ShardEquivalenceTest, ShardAndThreadCountsNeverChangeResultsUnderFaults) {
   PadConfig config = TestConfig();
   config.faults = TestFaults();
   CheckExecutionKnobInvariance(config, {7, 32});
+}
+
+// The scheduler stress battery: a heavy-cluster skewed population (the first
+// ~10% of users carry 10x the session rate, so the first markets cost an
+// order of magnitude more than the rest) crossed with every scheduler knob.
+// Skew concentrates work exactly where it provokes stealing — the first
+// worker's whole initial range is heavy — so these runs exercise real steal
+// interleavings, not the degenerate no-steal path, and the seed sweep varies
+// which worker wins each race. Every combination must be byte-identical to
+// the serial single-worker reference.
+TEST(ShardEquivalenceTest, SchedulerStressSkewedMarketsByteIdentical) {
+  PadConfig config = TestConfig();
+  config.population.num_users = 240;
+  config.population.skew_heavy_fraction = 0.1;
+  config.population.skew_rate_multiplier = 10.0;
+  config.market_users = 20;  // 12 markets; the first ~1.2 are heavy.
+
+  ShardEngineOptions reference_options;
+  reference_options.shards = 1;
+  reference_options.threads = 1;
+  reference_options.event_digests = true;
+  const ShardedComparison reference = RunShardedComparison(config, reference_options);
+  ASSERT_EQ(12, reference.num_markets);
+
+  for (const ScheduleMode schedule : {ScheduleMode::kStatic, ScheduleMode::kStealing}) {
+    for (const int workers : {2, 3, 8}) {
+      for (const int64_t max_resident : {int64_t{0}, int64_t{60}}) {
+        for (const uint64_t steal_seed : {1ull, 2ull, 3ull}) {
+          // A static run has no steal scan: the seed cannot matter, so run it
+          // once per {workers, max_resident} cell instead of per seed.
+          if (schedule == ScheduleMode::kStatic && steal_seed != 1ull) {
+            continue;
+          }
+          ShardEngineOptions options;
+          options.shards = workers;
+          options.threads = workers;
+          options.schedule = schedule;
+          options.steal_seed = steal_seed;
+          options.max_resident_users = max_resident;
+          options.event_digests = true;
+          SCOPED_TRACE("schedule=" +
+                       std::string(schedule == ScheduleMode::kStealing ? "stealing" : "static") +
+                       " workers=" + std::to_string(workers) +
+                       " max_resident=" + std::to_string(max_resident) +
+                       " steal_seed=" + std::to_string(steal_seed));
+          const ShardedComparison run = RunShardedComparison(config, options);
+          ExpectSameShardedResult(reference, run);
+          EXPECT_LE(run.workers_used, workers);
+          if (max_resident > 0) {
+            EXPECT_LE(run.peak_resident_users, max_resident);
+          }
+          if (schedule == ScheduleMode::kStatic) {
+            EXPECT_EQ(0, run.tasks_stolen);
+          }
+        }
+      }
+    }
+  }
+}
+
+// Same contract under fault injection: steal interleavings must not perturb
+// per-market fault RNG streams.
+TEST(ShardEquivalenceTest, SchedulerStressSkewedMarketsByteIdenticalUnderFaults) {
+  PadConfig config = TestConfig();
+  config.population.num_users = 240;
+  config.population.skew_heavy_fraction = 0.1;
+  config.population.skew_rate_multiplier = 10.0;
+  config.market_users = 20;
+  config.faults = TestFaults();
+
+  ShardEngineOptions reference_options;
+  reference_options.shards = 1;
+  reference_options.threads = 1;
+  reference_options.event_digests = true;
+  const ShardedComparison reference = RunShardedComparison(config, reference_options);
+
+  for (const int workers : {3, 8}) {
+    for (const uint64_t steal_seed : {1ull, 7ull}) {
+      ShardEngineOptions options;
+      options.shards = workers;
+      options.schedule = ScheduleMode::kStealing;
+      options.steal_seed = steal_seed;
+      options.event_digests = true;
+      SCOPED_TRACE("workers=" + std::to_string(workers) +
+                   " steal_seed=" + std::to_string(steal_seed));
+      ExpectSameShardedResult(reference, RunShardedComparison(config, options));
+    }
+  }
+}
+
+// The execution trace the bench consumes: every simulated market must report
+// a real worker and a positive thread-CPU cost, and the per-worker partition
+// of markets must be a partition (every market attributed exactly once).
+TEST(ShardEquivalenceTest, ExecutionTraceCoversEveryMarket) {
+  PadConfig config = TestConfig();
+  config.market_users = 50;
+  ShardEngineOptions options;
+  options.shards = 3;
+  const ShardedComparison run = RunShardedComparison(config, options);
+  ASSERT_EQ(6, run.num_markets);
+  ASSERT_EQ(6u, run.market_workers.size());
+  ASSERT_EQ(6u, run.market_busy_s.size());
+  EXPECT_EQ(3, run.workers_used);
+  for (int m = 0; m < run.num_markets; ++m) {
+    EXPECT_GE(run.market_workers[m], 0) << "market " << m;
+    EXPECT_LT(run.market_workers[m], run.workers_used) << "market " << m;
+    EXPECT_GT(run.market_busy_s[m], 0.0) << "market " << m;
+  }
 }
 
 TEST(ShardEquivalenceTest, MarketBoundariesPartitionContiguously) {

@@ -105,6 +105,112 @@ TEST(PopulationStreamTest, SkipThenStreamRemainderMatches) {
   }
 }
 
+// Heavy-cluster skew is a pure function of the user id — it consumes no RNG
+// draws — so every stream property above must keep holding at every skew
+// setting, and the skewed stream must stay bit-identical to the skewed
+// monolithic generator under arbitrary skip patterns.
+TEST(PopulationStreamTest, SkewedStreamsRemainBitIdentical) {
+  struct SkewCase {
+    double fraction;
+    double multiplier;
+  };
+  const SkewCase cases[] = {{0.0, 1.0}, {0.1, 10.0}, {0.25, 100.0}, {1.0, 3.0}};
+  Rng meta(0xbadc0ffeeull);
+  for (const SkewCase& skew : cases) {
+    PopulationConfig config;
+    config.num_users = 48;
+    config.horizon_s = 5.0 * kDay;
+    config.seed = 4242;
+    config.skew_heavy_fraction = skew.fraction;
+    config.skew_rate_multiplier = skew.multiplier;
+    SCOPED_TRACE("fraction=" + std::to_string(skew.fraction) +
+                 " multiplier=" + std::to_string(skew.multiplier));
+    const Population expected = GeneratePopulation(config);
+
+    // Full stream.
+    PopulationStream stream(config);
+    const Population streamed = stream.NextBlock(config.num_users);
+    ASSERT_EQ(expected.users.size(), streamed.users.size());
+    for (size_t u = 0; u < expected.users.size(); ++u) {
+      ExpectSameTrace(expected.users[u], streamed.users[u]);
+    }
+
+    // Random skips, including across the heavy/light boundary.
+    for (int pick = 0; pick < 5; ++pick) {
+      const int64_t user = meta.UniformInt(0, config.num_users - 1);
+      PopulationStream skipper(config);
+      skipper.SkipUsers(user);
+      const Population block = skipper.NextBlock(1);
+      ASSERT_EQ(1u, block.users.size());
+      ExpectSameTrace(expected.users[static_cast<size_t>(user)], block.users[0]);
+    }
+  }
+}
+
+// SeekUsers repositions in either direction (the work-stealing engine seeks
+// backward when a stolen market precedes the stream's cursor) and must land
+// bit-identical wherever it goes.
+TEST(PopulationStreamTest, SeekUsersEitherDirectionIsBitIdentical) {
+  PopulationConfig config;
+  config.num_users = 50;
+  config.horizon_s = 6.0 * kDay;
+  config.seed = 31337;
+  config.skew_heavy_fraction = 0.2;
+  config.skew_rate_multiplier = 25.0;
+  const Population expected = GeneratePopulation(config);
+
+  PopulationStream stream(config);
+  // A mix of forward jumps, backward jumps, and no-op seeks.
+  for (const int64_t target : {10ll, 40ll, 5ll, 5ll, 49ll, 0ll, 25ll}) {
+    stream.SeekUsers(target);
+    EXPECT_EQ(target, stream.cursor());
+    const Population block = stream.NextBlock(1);
+    ASSERT_EQ(1u, block.users.size());
+    ExpectSameTrace(expected.users[static_cast<size_t>(target)], block.users[0]);
+  }
+}
+
+// The skew knob itself: heavy users carry exactly multiplier times the
+// session rate they would have had unskewed (exact double equality — the
+// multiply is the only change), light users are untouched, and the heavy
+// prefix is exactly SkewHeavyUsers long.
+TEST(PopulationStreamTest, SkewMultipliesHeavyPrefixRatesExactly) {
+  PopulationConfig plain;
+  plain.num_users = 40;
+  plain.seed = 77;
+  PopulationConfig skewed = plain;
+  skewed.skew_heavy_fraction = 0.25;
+  skewed.skew_rate_multiplier = 100.0;
+  ASSERT_EQ(10, SkewHeavyUsers(skewed));
+  ASSERT_EQ(0, SkewHeavyUsers(plain));
+
+  const std::vector<UserParams> base = SampleUserParams(plain);
+  const std::vector<UserParams> heavy = SampleUserParams(skewed);
+  ASSERT_EQ(base.size(), heavy.size());
+  for (size_t u = 0; u < base.size(); ++u) {
+    EXPECT_EQ(base[u].segment, heavy[u].segment) << "user " << u;
+    if (static_cast<int64_t>(u) < SkewHeavyUsers(skewed)) {
+      EXPECT_EQ(base[u].sessions_per_day * 100.0, heavy[u].sessions_per_day) << "user " << u;
+    } else {
+      EXPECT_EQ(base[u].sessions_per_day, heavy[u].sessions_per_day) << "user " << u;
+    }
+  }
+}
+
+TEST(PopulationStreamTest, SkewHeavyUsersRoundsAndClamps) {
+  PopulationConfig config;
+  config.num_users = 10;
+  config.skew_rate_multiplier = 2.0;
+  config.skew_heavy_fraction = 0.0;
+  EXPECT_EQ(0, SkewHeavyUsers(config));
+  config.skew_heavy_fraction = 0.04;  // 0.4 users rounds to 0.
+  EXPECT_EQ(0, SkewHeavyUsers(config));
+  config.skew_heavy_fraction = 0.06;  // 0.6 users rounds to 1.
+  EXPECT_EQ(1, SkewHeavyUsers(config));
+  config.skew_heavy_fraction = 1.0;
+  EXPECT_EQ(10, SkewHeavyUsers(config));
+}
+
 TEST(PopulationStreamTest, ParamsMatchSampleUserParams) {
   PopulationConfig config;
   config.num_users = 25;

@@ -28,8 +28,19 @@
 //   market_users=N                          partition users into independent
 //                                           markets of N (semantic; 0 = one
 //                                           market = monolithic semantics)
+//   skew_heavy_fraction=F                   heavy-cluster population skew:
+//   skew_rate_multiplier=X                  the first F of users get X times
+//                                           the session rate (semantic; the
+//                                           E19 scheduler stress workload)
 //   shards=N                                streaming engine worker lanes
-//                                           (execution-only; 0 = hw)
+//                                           (execution-only; 0 = hw; the
+//                                           engine runs max(shards, threads)
+//                                           workers)
+//   schedule=stealing|static                market hand-off policy between
+//                                           workers (execution-only; default
+//                                           stealing; static kept for A/B)
+//   steal_seed=N                            steal victim-scan seed
+//                                           (execution-only)
 //   max_resident_users=N                    resident-memory budget for the
 //                                           streaming engine (0 = unlimited)
 //   checkpoint=<path>                       journal each completed market to
@@ -167,6 +178,8 @@ int RunTool(const Options& options) {
   config.campaigns.budgeted_fraction = options.GetDouble("budgeted_fraction", 0.0);
   config.wifi.enabled = options.GetBool("wifi_offload", false);
   config.market_users = options.GetInt("market_users", 0);
+  config.population.skew_heavy_fraction = options.GetDouble("skew_heavy_fraction", 0.0);
+  config.population.skew_rate_multiplier = options.GetDouble("skew_rate_multiplier", 1.0);
 
   const double fault_rate = options.GetDouble("fault_rate", -1.0);
   if (fault_rate >= 0.0) {
@@ -223,10 +236,21 @@ int RunTool(const Options& options) {
   const int threads = options.GetInt("threads", 1);
   const std::string sweep_users = options.GetString("sweep_users", "");
   const bool use_shard_engine = options.Has("shards") || options.Has("max_resident_users") ||
-                                options.Has("checkpoint") || config.market_users > 0;
+                                options.Has("checkpoint") || options.Has("schedule") ||
+                                config.market_users > 0;
   ShardEngineOptions shard_options;
   shard_options.shards = options.GetInt("shards", 1);
   shard_options.threads = threads;
+  const std::string schedule = options.GetString("schedule", "stealing");
+  if (schedule == "stealing") {
+    shard_options.schedule = ScheduleMode::kStealing;
+  } else if (schedule == "static") {
+    shard_options.schedule = ScheduleMode::kStatic;
+  } else {
+    std::cerr << "unknown schedule '" << schedule << "' (stealing|static)\n";
+    return 1;
+  }
+  shard_options.steal_seed = static_cast<uint64_t>(options.GetInt("steal_seed", 0));
   shard_options.max_resident_users = options.GetInt("max_resident_users", 0);
   shard_options.checkpoint_path = options.GetString("checkpoint", "");
   shard_options.checkpoint_fsync = options.GetBool("checkpoint_fsync", true);
