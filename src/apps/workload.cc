@@ -50,15 +50,27 @@ void ExpandSession(const AppProfile& app, const Session& session, const Workload
 UserWorkload ExpandUser(const AppCatalog& catalog, const UserTrace& user,
                         const WorkloadOptions& options) {
   UserWorkload workload;
-  workload.user_id = user.user_id;
-  for (const Session& session : user.sessions) {
-    ExpandSession(catalog.Get(session.app_id), session, options, workload);
-  }
-  std::sort(workload.transfers.begin(), workload.transfers.end(),
-            [](const Transfer& a, const Transfer& b) { return a.request_time < b.request_time; });
-  std::sort(workload.slots.begin(), workload.slots.end(),
-            [](const SlotEvent& a, const SlotEvent& b) { return a.time < b.time; });
+  ExpandUserInto(catalog, user, options, workload);
   return workload;
+}
+
+void ExpandUserInto(const AppCatalog& catalog, const UserTrace& user,
+                    const WorkloadOptions& options, UserWorkload& out) {
+  out.user_id = user.user_id;
+  out.transfers.clear();
+  out.slots.clear();
+  out.foreground_s = 0.0;
+  out.local_energy_j = 0.0;
+  for (const Session& session : user.sessions) {
+    if (session.start_time < options.min_session_start) {
+      continue;
+    }
+    ExpandSession(catalog.Get(session.app_id), session, options, out);
+  }
+  std::sort(out.transfers.begin(), out.transfers.end(),
+            [](const Transfer& a, const Transfer& b) { return a.request_time < b.request_time; });
+  std::sort(out.slots.begin(), out.slots.end(),
+            [](const SlotEvent& a, const SlotEvent& b) { return a.time < b.time; });
 }
 
 std::vector<UserWorkload> ExpandPopulation(const AppCatalog& catalog,

@@ -9,6 +9,7 @@
 #ifndef ADPAD_SRC_APPS_WORKLOAD_H_
 #define ADPAD_SRC_APPS_WORKLOAD_H_
 
+#include <limits>
 #include <vector>
 
 #include "src/apps/app_profile.h"
@@ -29,6 +30,11 @@ struct WorkloadOptions {
   bool on_demand_ads = true;
   // Emit the app's own traffic (launch + periodic content).
   bool app_content = true;
+  // Skip sessions starting before this time. Expanding with a threshold is
+  // equivalent to filtering the population first (sessions expand
+  // independently and both streams are sorted afterwards), without copying
+  // every kept session the way FilterPopulation does.
+  double min_session_start = -std::numeric_limits<double>::infinity();
 };
 
 struct UserWorkload {
@@ -42,6 +48,12 @@ struct UserWorkload {
 // Expands one user's sessions against the catalog.
 UserWorkload ExpandUser(const AppCatalog& catalog, const UserTrace& user,
                         const WorkloadOptions& options);
+
+// In-place variant: clears and refills `out`, reusing its vector capacity.
+// The per-market loop calls this with one scratch workload so steady state
+// performs no heap allocation per user.
+void ExpandUserInto(const AppCatalog& catalog, const UserTrace& user,
+                    const WorkloadOptions& options, UserWorkload& out);
 
 // Expands every user in the population.
 std::vector<UserWorkload> ExpandPopulation(const AppCatalog& catalog,

@@ -59,8 +59,8 @@ Exchange::ActiveCampaign* Exchange::PeekLive(BidHeap& heap) {
   return nullptr;
 }
 
-std::vector<SoldImpression> Exchange::SellSlots(double now, int64_t count, int segment,
-                                                const BatchLimitFn& batch_limit) {
+const std::vector<SoldImpression>& Exchange::SellSlots(double now, int64_t count, int segment,
+                                                       const BatchLimitFn& batch_limit) {
   PAD_CHECK_MSG(now >= last_now_, "SellSlots times must be non-decreasing");
   PAD_CHECK(count >= 0);
   PAD_CHECK(segment >= 0 && segment < config_.num_segments);
@@ -69,10 +69,13 @@ std::vector<SoldImpression> Exchange::SellSlots(double now, int64_t count, int s
   BidHeap& heap = by_bid_[static_cast<size_t>(segment)];
 
   // Campaigns that hit their batch limit sit out the rest of this call.
-  std::vector<ActiveCampaign*> benched;
-  std::unordered_map<int64_t, int64_t> bought_this_batch;
+  std::vector<ActiveCampaign*>& benched = benched_scratch_;
+  benched.clear();
+  std::unordered_map<int64_t, int64_t>& bought_this_batch = bought_scratch_;
+  bought_this_batch.clear();
 
-  std::vector<SoldImpression> sold;
+  std::vector<SoldImpression>& sold = sold_scratch_;
+  sold.clear();
   while (count > 0) {
     ActiveCampaign* top = PeekLive(heap);
     if (top == nullptr) {

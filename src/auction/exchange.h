@@ -57,8 +57,13 @@ class Exchange {
   // when eligible demand runs out or every remaining bidder hit its batch
   // limit). Sales are recorded in the ledger; displays and deadline expiry
   // are reported back via ledger().
-  std::vector<SoldImpression> SellSlots(double now, int64_t count, int segment = 0,
-                                        const BatchLimitFn& batch_limit = nullptr);
+  //
+  // The returned reference aliases member scratch reused by the next
+  // SellSlots call (the baseline path auctions one slot per call, where a
+  // returned-by-value vector was one heap allocation per display). Copy it
+  // if it must survive the next sale.
+  const std::vector<SoldImpression>& SellSlots(double now, int64_t count, int segment = 0,
+                                               const BatchLimitFn& batch_limit = nullptr);
 
   RevenueLedger& ledger() { return ledger_; }
   const RevenueLedger& ledger() const { return ledger_; }
@@ -106,6 +111,11 @@ class Exchange {
   std::unordered_map<int64_t, ActiveCampaign> active_;
   std::vector<BidHeap> by_bid_;  // One heap per segment.
   RevenueLedger ledger_;
+  // SellSlots scratch, reused across calls (cleared at entry, buckets and
+  // capacity retained).
+  std::vector<SoldImpression> sold_scratch_;
+  std::vector<ActiveCampaign*> benched_scratch_;
+  std::unordered_map<int64_t, int64_t> bought_scratch_;
   int64_t next_impression_id_ = 1;
   int64_t open_demand_ = 0;
   int64_t live_campaigns_ = 0;

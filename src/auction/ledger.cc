@@ -71,7 +71,6 @@ bool RevenueLedger::RecordDisplay(int64_t impression_id, double time) {
   ++totals_.billed;
   ++totals_.displays;
   totals_.billed_revenue += it->second.price;
-  billed_deadline_.emplace(impression_id, it->second.deadline);
   recently_billed_.push_back(impression_id);
   if (observer_ != nullptr) {
     observer_->OnBilledDisplay(time, impression_id, it->second.campaign_id, it->second.price);

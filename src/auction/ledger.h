@@ -91,8 +91,6 @@ class RevenueLedger {
   LedgerObserver* observer_ = nullptr;
 
   std::unordered_map<int64_t, Open> open_;
-  // Billed impressions kept so late replicas are classified as excess.
-  std::unordered_map<int64_t, double> billed_deadline_;
   std::vector<int64_t> recently_billed_;
   LedgerTotals totals_;
 };

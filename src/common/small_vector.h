@@ -1,0 +1,148 @@
+// A vector with inline storage for its first N elements.
+//
+// The per-user profile showed millions of tiny heap vectors whose lifetime
+// tracks a parent object and whose size almost never exceeds a handful of
+// entries — the replica-holder list of a PAD placement being the canonical
+// case (primaries + backups + at most one rescue). SmallVector keeps the
+// first N elements in the object itself, so the common case performs zero
+// heap allocations and reads stay on the parent's cache lines; it spills to
+// the heap only past N and never shrinks back.
+//
+// Deliberately minimal: trivially-copyable element types only (enforced),
+// no erase/insert-in-middle, no allocator customization. Growth doubles
+// capacity, so push_back is amortized O(1) like std::vector. Iteration,
+// indexing, and push order match std::vector exactly, which is what makes
+// it a drop-in replacement on digest-locked paths.
+#ifndef ADPAD_SRC_COMMON_SMALL_VECTOR_H_
+#define ADPAD_SRC_COMMON_SMALL_VECTOR_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace pad {
+
+template <typename T, size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is restricted to trivially copyable types");
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  SmallVector() = default;
+  ~SmallVector() { ReleaseHeap(); }
+
+  SmallVector(const SmallVector& other) { CopyFrom(other); }
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      reserve(other.size_);
+      std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+      size_ = other.size_;
+    }
+    return *this;
+  }
+
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(std::move(other)); }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      ReleaseHeap();
+      data_ = inline_storage();
+      size_ = 0;
+      capacity_ = N;
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) {
+      Grow();
+    }
+    data_[size_++] = value;
+  }
+
+  void clear() { size_ = 0; }
+
+  void reserve(size_t wanted) {
+    if (wanted > capacity_) {
+      Regrow(wanted);
+    }
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+  bool spilled() const { return data_ != inline_storage(); }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+ private:
+  T* inline_storage() { return reinterpret_cast<T*>(inline_); }
+  const T* inline_storage() const { return reinterpret_cast<const T*>(inline_); }
+
+  void Grow() { Regrow(capacity_ * 2); }
+
+  void Regrow(size_t wanted) {
+    PAD_CHECK(wanted > capacity_);
+    T* heap = static_cast<T*>(::operator new(wanted * sizeof(T)));
+    std::memcpy(heap, data_, size_ * sizeof(T));
+    ReleaseHeap();
+    data_ = heap;
+    capacity_ = wanted;
+  }
+
+  void ReleaseHeap() {
+    if (data_ != inline_storage()) {
+      ::operator delete(data_);
+    }
+  }
+
+  void CopyFrom(const SmallVector& other) {
+    if (other.size_ > N) {
+      Regrow(other.size_);
+    }
+    std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+    size_ = other.size_;
+  }
+
+  // Leaves `other` empty (inline, size 0). Heap storage is stolen; inline
+  // contents are copied — pointers into a moved-from inline buffer must not
+  // dangle.
+  void MoveFrom(SmallVector&& other) {
+    if (other.spilled()) {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_storage();
+    } else {
+      std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+      size_ = other.size_;
+    }
+    other.size_ = 0;
+    other.capacity_ = N;
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* data_ = inline_storage();
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_COMMON_SMALL_VECTOR_H_

@@ -12,7 +12,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
-#include <unordered_set>
+#include <vector>
 
 namespace pad {
 
@@ -39,7 +39,7 @@ class AdCache {
   // already billed on some other client, so they stop occupying queue
   // positions and cannot surface as duplicate (excess) displays. Returns the
   // number removed.
-  int64_t Invalidate(const std::unordered_set<int64_t>& impression_ids);
+  int64_t Invalidate(const std::vector<int64_t>& impression_ids);
 
   int64_t size() const { return static_cast<int64_t>(queue_.size()); }
   bool empty() const { return queue_.empty(); }

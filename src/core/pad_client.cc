@@ -179,7 +179,7 @@ void PadClient::FlushPendingAds(double now) {
   }
 }
 
-void PadClient::SyncCache(double now, const std::unordered_set<int64_t>& invalidated_ids) {
+void PadClient::SyncCache(double now, const std::vector<int64_t>& invalidated_ids) {
   cache_.DropExpired(now);
   // Invalidating a *fetched* replica needs a server message (bytes); pending
   // replicas are dropped server-side for free since they were never sent.
@@ -189,7 +189,8 @@ void PadClient::SyncCache(double now, const std::unordered_set<int64_t>& invalid
   }
   if (!invalidated_ids.empty() && !pending_ads_.empty()) {
     std::erase_if(pending_ads_, [&](const CachedAd& ad) {
-      return invalidated_ids.count(ad.impression_id) != 0;
+      return std::find(invalidated_ids.begin(), invalidated_ids.end(), ad.impression_id) !=
+             invalidated_ids.end();
     });
   }
   std::erase_if(pending_ads_, [&](const CachedAd& ad) { return ad.deadline <= now; });
@@ -223,7 +224,7 @@ void PadClient::OnSlot(double now, Exchange& exchange, ServiceStats& stats) {
     ++fault_stats_.offline_fetch_misses;
     return;
   }
-  const std::vector<SoldImpression> sold = exchange.SellSlots(now, 1, segment_);
+  const std::vector<SoldImpression>& sold = exchange.SellSlots(now, 1, segment_);
   if (sold.empty()) {
     ++stats.unfilled;  // No demand; a house ad shows, no traffic, no revenue.
     return;

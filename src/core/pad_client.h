@@ -23,7 +23,6 @@
 
 #include <memory>
 #include <span>
-#include <unordered_set>
 #include <vector>
 
 #include "src/auction/exchange.h"
@@ -79,7 +78,7 @@ class PadClient {
 
   // Sync-time cache maintenance: drops expired replicas (local, free) and
   // server-sent invalidations (piggybacked downlink bytes).
-  void SyncCache(double now, const std::unordered_set<int64_t>& invalidated_ids);
+  void SyncCache(double now, const std::vector<int64_t>& invalidated_ids);
 
   // An ad slot opened at `now`. Serves from cache or falls back to an
   // on-demand sale + fetch against `exchange`. Updates `stats`.

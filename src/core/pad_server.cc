@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
+#include <limits>
 
 #include "src/common/check.h"
 #include "src/overbook/display_model.h"
@@ -49,11 +49,18 @@ PadServer::PadServer(const PadConfig& config, std::vector<std::unique_ptr<PadCli
   }
   segment_order_.resize(static_cast<size_t>(num_segments_));
   segment_cursor_.resize(static_cast<size_t>(num_segments_));
+  segment_zero_.resize(static_cast<size_t>(num_segments_));
+  bundles_.resize(clients_.size());
+  sync_invalidations_.resize(clients_.size());
+  prob_memo_.resize(clients_.size());
 }
 
 void PadServer::SyncClients(double now) {
   // Which impressions billed since last sync, and which clients hold them.
-  std::vector<std::unordered_set<int64_t>> per_client(clients_.size());
+  // The per-client sets live in member scratch: only clients that actually
+  // receive an invalidation this epoch touch a set, and the touched sets are
+  // cleared (keeping their buckets) at the end.
+  std::vector<std::vector<int64_t>>& per_client = sync_invalidations_;
   if (config_.invalidation_sync) {
     for (int64_t impression_id : exchange_.ledger().TakeRecentlyBilled()) {
       const auto it = placements_.find(impression_id);
@@ -61,7 +68,11 @@ void PadServer::SyncClients(double now) {
         continue;  // Baseline-style fallback sale; nothing was replicated.
       }
       for (int client : it->second.clients) {
-        per_client[static_cast<size_t>(client)].insert(impression_id);
+        std::vector<int64_t>& ids = per_client[static_cast<size_t>(client)];
+        if (ids.empty()) {
+          sync_touched_.push_back(client);
+        }
+        ids.push_back(impression_id);
       }
       CalibrationBucket& bucket =
           calibration_[static_cast<size_t>(CalibrationBucketOf(it->second.predicted_success))];
@@ -71,7 +82,7 @@ void PadServer::SyncClients(double now) {
       placements_.erase(it);
     }
   }
-  static const std::unordered_set<int64_t> kEmpty;
+  static const std::vector<int64_t> kEmpty;
   for (size_t c = 0; c < clients_.size(); ++c) {
     // A client the fault plan marks unreachable this epoch (missed sync or
     // offline) still expires its own replicas locally, but the invalidations
@@ -91,8 +102,15 @@ void PadServer::SyncClients(double now) {
     clients_[c]->SyncCache(
         now, (config_.invalidation_sync && !unreachable) ? per_client[c] : kEmpty);
   }
+  for (int touched : sync_touched_) {
+    per_client[static_cast<size_t>(touched)].clear();
+  }
+  sync_touched_.clear();
   // Forget placements whose deadline passed (their replicas self-expire).
-  // These are the model's misses: dispatched but never delivered.
+  // These are the model's misses: dispatched but never delivered. The sweep
+  // must visit expired entries in map iteration order: it folds
+  // `predicted_success` doubles into the calibration sums, and FP addition
+  // order is digest-visible, so a deadline-ordered (heap) sweep drifts.
   for (auto it = placements_.begin(); it != placements_.end();) {
     if (it->second.deadline <= now) {
       CalibrationBucket& bucket = calibration_[static_cast<size_t>(
@@ -115,13 +133,37 @@ void PadServer::SyncClients(double now) {
   }
 }
 
-double PadServer::CandidateProbability(int client, double horizon) const {
+double PadServer::CandidateProbabilityMiss(int client, double horizon, int queue_ahead) const {
+  // Within one epoch the reported rates are frozen, so the probability is a
+  // pure function of (client, queue_ahead, horizon); memoize on queue_ahead
+  // while the horizon stays put (see prob_memo_ in the header). The memo
+  // only short-circuits a recomputation of the identical pure expression,
+  // so results are bit-identical with or without it. The hit path lives
+  // inline in the header; this slow path fills (or skips) the memo slot.
+  if (horizon != prob_memo_horizon_) {
+    ++prob_memo_generation_;
+    prob_memo_horizon_ = horizon;
+  }
+  ProbMemoEntry* entry = nullptr;
+  if (queue_ahead < kProbMemoMaxQueue) {
+    std::vector<ProbMemoEntry>& row = prob_memo_[static_cast<size_t>(client)];
+    if (static_cast<size_t>(queue_ahead) >= row.size()) {
+      row.resize(static_cast<size_t>(queue_ahead) + 1);
+    }
+    entry = &row[static_cast<size_t>(queue_ahead)];
+  }
   const ClientSlotEstimate estimate{
       .client_id = client,
       .slots_per_s = clients_[static_cast<size_t>(client)]->reported_rate(),
       .var_per_s = clients_[static_cast<size_t>(client)]->reported_var_rate(),
-      .queue_ahead = static_cast<int>(virtual_queue_[static_cast<size_t>(client)])};
-  return DiscountedDisplayProbability(estimate, horizon, config_.planner.confidence_discount);
+      .queue_ahead = queue_ahead};
+  const double p =
+      DiscountedDisplayProbability(estimate, horizon, config_.planner.confidence_discount);
+  if (entry != nullptr) {
+    entry->generation = prob_memo_generation_;
+    entry->value = p;
+  }
+  return p;
 }
 
 bool PadServer::Eligible(int client, const SoldImpression& impression,
@@ -170,13 +212,17 @@ void PadServer::BuildCandidates(const SoldImpression& impression,
         continue;
       }
       const std::vector<int>& order = segment_order_[static_cast<size_t>(s)];
+      // Clients at or past segment_zero_ started the epoch with no confident
+      // capacity and avail_ never grows mid-epoch, so they can only fail the
+      // require_capacity check below — the scan skips them wholesale.
+      const size_t limit = segment_zero_[static_cast<size_t>(s)];
       size_t& cursor = segment_cursor_[static_cast<size_t>(s)];
-      while (cursor < order.size() &&
+      while (cursor < limit &&
              avail_[static_cast<size_t>(order[cursor])] <= 0) {
         ++cursor;
       }
       int taken = 0;
-      for (size_t i = cursor; i < order.size() && taken < per_segment; ++i) {
+      for (size_t i = cursor; i < limit && taken < per_segment; ++i) {
         const int client = order[i];
         if (Eligible(client, impression, /*require_capacity=*/true)) {
           add_candidate(client);
@@ -254,6 +300,12 @@ void PadServer::RunEpoch(double now) {
   const size_t n = clients_.size();
   epoch_now_ = now;
 
+  // New epoch, new reported rates: poison the probability memo. NaN never
+  // compares equal to a horizon, so the first CandidateProbability call of
+  // the epoch starts a fresh generation.
+  ++prob_memo_generation_;
+  prob_memo_horizon_ = std::numeric_limits<double>::quiet_NaN();
+
   // 0. Mark who the fault plan holds offline this epoch, before any step
   // that reads reachability (sync, capacity, eligibility, rescue, sizing).
   if (faults_.enabled()) {
@@ -294,8 +346,17 @@ void PadServer::RunEpoch(double now) {
       return avail_[static_cast<size_t>(a)] > avail_[static_cast<size_t>(b)];
     });
     segment_cursor_[static_cast<size_t>(s)] = 0;
+    // Sorted descending by avail, and avail only shrinks within the epoch:
+    // everything past the first zero can never regain capacity, so the
+    // candidate scans below stop there instead of walking the whole segment.
+    segment_zero_[static_cast<size_t>(s)] = static_cast<size_t>(
+        std::partition_point(order.begin(), order.end(),
+                             [this](int c) { return avail_[static_cast<size_t>(c)] > 0; }) -
+        order.begin());
   }
-  bundles_.assign(n, {});
+  for (std::vector<CachedAd>& bundle : bundles_) {
+    bundle.clear();
+  }
   epoch_campaign_count_.clear();
 
   // 3. Rescue pass: a sold impression that is still open as its deadline
@@ -379,7 +440,8 @@ void PadServer::RunEpoch(double now) {
 
   // 4. Per-segment sale sizing and sales. Segment order is shuffled so
   // multi-segment campaigns do not always land on segment 0's inventory.
-  std::vector<SoldImpression> sold;
+  std::vector<SoldImpression>& sold = sold_scratch_;
+  sold.clear();
   {
     const std::vector<int> segment_sequence = rng_.Permutation(num_segments_);
     for (int s : segment_sequence) {
@@ -420,7 +482,7 @@ void PadServer::RunEpoch(double now) {
         }
         return std::max<int64_t>(1, campaign.frequency_cap_per_day * reachable);
       };
-      const std::vector<SoldImpression> batch =
+      const std::vector<SoldImpression>& batch =
           exchange_.SellSlots(now, to_sell, s, batch_limit);
       sold.insert(sold.end(), batch.begin(), batch.end());
     }
@@ -432,8 +494,8 @@ void PadServer::RunEpoch(double now) {
   // adds backups while the chosen set's success probability misses the SLA
   // target (adaptive mode) or until the expected display mass reaches the
   // fixed overbooking factor.
-  std::vector<int> candidates;
-  std::vector<double> probs;
+  std::vector<int>& candidates = candidates_scratch_;
+  std::vector<double>& probs = probs_scratch_;
   for (const SoldImpression& impression : sold) {
     BuildCandidates(impression, candidates);
     probs.clear();

@@ -37,6 +37,7 @@
 
 #include "src/auction/exchange.h"
 #include "src/common/rng.h"
+#include "src/common/small_vector.h"
 #include "src/core/config.h"
 #include "src/core/event_log.h"
 #include "src/core/faults.h"
@@ -75,13 +76,33 @@ class PadServer {
     double deadline = 0.0;
     uint32_t segment_mask = kAllSegments;
     double predicted_success = 0.0;  // Planner's P(>= 1 display) at dispatch.
-    std::vector<int> clients;
+    // Inline storage: replica sets are primaries + backups + at most one
+    // rescue, so the holder list almost never spills — one fewer heap
+    // object per sold impression, and holder scans stay on the map node.
+    SmallVector<int, 4> clients;
   };
 
   // Step 1: invalidation + expiry sync for every client.
   void SyncClients(double now);
   // Display probability of one candidate given current virtual queues.
-  double CandidateProbability(int client, double horizon) const;
+  // Inline memo-hit path: step 5 asks for hundreds of millions of
+  // probabilities per run and almost all of them are repeats, so the hit
+  // must not pay a function call. Misses (including horizon changes) take
+  // the out-of-line path, which recomputes the identical pure expression.
+  double CandidateProbability(int client, double horizon) const {
+    const int queue_ahead = static_cast<int>(virtual_queue_[static_cast<size_t>(client)]);
+    if (horizon == prob_memo_horizon_ && queue_ahead < kProbMemoMaxQueue) {
+      const std::vector<ProbMemoEntry>& row = prob_memo_[static_cast<size_t>(client)];
+      if (static_cast<size_t>(queue_ahead) < row.size()) {
+        const ProbMemoEntry& entry = row[static_cast<size_t>(queue_ahead)];
+        if (entry.generation == prob_memo_generation_) {
+          return entry.value;
+        }
+      }
+    }
+    return CandidateProbabilityMiss(client, horizon, queue_ahead);
+  }
+  double CandidateProbabilityMiss(int client, double horizon, int queue_ahead) const;
   // Whether `client` may receive one more replica of this impression
   // (targeting match, spare capacity unless `require_capacity` is false,
   // frequency/diversity cap).
@@ -110,6 +131,25 @@ class PadServer {
   // Static: which clients belong to each segment.
   std::vector<std::vector<int>> segment_clients_;
 
+  // Per-epoch memo for CandidateProbability. Within one epoch the reported
+  // rates are frozen (StartWindow only runs at epoch boundaries, before
+  // RunEpoch), so the probability is a pure function of
+  // (client, queue_ahead, horizon). Step 5 asks for thousands of
+  // probabilities at one shared horizon (every sold impression's deadline is
+  // now + display_deadline_s) while only queue_ahead moves, which made the
+  // overdispersed tail sum the single hottest kernel in the profile. The
+  // memo is keyed by queue_ahead per client and invalidated whenever the
+  // epoch or the horizon changes, so the rescue pass (per-placement
+  // horizons) caches within one placement and never poisons step 5.
+  struct ProbMemoEntry {
+    uint64_t generation = 0;
+    double value = 0.0;
+  };
+  static constexpr int kProbMemoMaxQueue = 4096;
+  mutable std::vector<std::vector<ProbMemoEntry>> prob_memo_;
+  mutable uint64_t prob_memo_generation_ = 0;
+  mutable double prob_memo_horizon_ = 0.0;
+
   // Fractional predicted-slot remainder per client.
   std::vector<double> carry_;
   // Scratch, rebuilt each epoch.
@@ -120,13 +160,35 @@ class PadServer {
   // Per-segment capacity ordering (by avail desc) and waterfill cursor.
   std::vector<std::vector<int>> segment_order_;
   std::vector<size_t> segment_cursor_;
-  // Per-epoch bundles under assembly.
+  // First index in segment_order_ whose client started the epoch with no
+  // confident capacity. avail_ never grows within an epoch, so entries past
+  // this point can never pass a require_capacity eligibility check and
+  // capacity-gated candidate scans stop here.
+  std::vector<size_t> segment_zero_;
+  // Per-epoch bundles under assembly. Sized once; cleared (capacity kept)
+  // every epoch instead of reassigned.
   std::vector<std::vector<CachedAd>> bundles_;
   std::vector<int> scratch_candidates_;
+  // Step-1 scratch: per-client invalidation id lists. Only the entries named
+  // in `sync_touched_` hold anything; they are cleared (capacity kept) after
+  // the sync instead of rebuilding the whole vector each epoch. Plain
+  // vectors, not sets: a client holds at most one replica per impression, so
+  // the ids are distinct by construction, and the consumers only test
+  // membership.
+  std::vector<std::vector<int64_t>> sync_invalidations_;
+  std::vector<int> sync_touched_;
+  // Step 4/5 scratch, reused across epochs.
+  std::vector<SoldImpression> sold_scratch_;
+  std::vector<int> candidates_scratch_;
+  std::vector<double> probs_scratch_;
   // Diversity counter: replicas of (client, campaign) assigned this epoch.
   std::unordered_map<uint64_t, int> epoch_campaign_count_;
 
-  // Live replica placements, for targeted invalidation and rescue.
+  // Live replica placements, for targeted invalidation and rescue. Both the
+  // rescue pass and the expiry sweep are digest-locked to this map's
+  // iteration order (the sweep folds `predicted_success` doubles into
+  // calibration sums, so even "pure accounting" is order-visible) — do not
+  // restructure the container or reorder its visits.
   std::unordered_map<int64_t, Placement> placements_;
   std::array<CalibrationBucket, kCalibrationBuckets> calibration_{};
 

@@ -48,14 +48,39 @@ struct SimInputs {
 // sharded run generates from exactly the inputs a monolithic run would.
 PadConfig AlignInputsConfig(const PadConfig& config);
 
+// One validated config plus its derived per-run constants. Every runner
+// entry point used to re-run ValidateConfig on the same config (GenerateInputs,
+// RunBaseline, and RunPad each validated, so RunComparison validated three
+// times); building a SimContext validates exactly once and precomputes the
+// warmup/window/epoch tiling the hot path needs. Aborts (PAD_CHECK) on an
+// invalid config, exactly like the legacy entry points — callers that need a
+// recoverable pad::Status keep validating at their own boundary first (the
+// shard engine does).
+struct SimContext {
+  PadConfig config;
+
+  // Derived constants, hoisted out of the runners.
+  double t0 = 0.0;        // End of warmup (WarmupS()).
+  double window_s = 0.0;  // Prediction window.
+  double epoch_s = 0.0;   // Sale epoch (EpochS()).
+  int warmup_windows = 0;
+  int epochs_per_window = 0;
+};
+
+SimContext MakeSimContext(const PadConfig& config);
+
 // Generates population + catalog + campaign stream from the config, aligning
 // the campaign deadline and horizon with the config's values.
+SimInputs GenerateInputs(const SimContext& context);
 SimInputs GenerateInputs(const PadConfig& config);
 
+BaselineResult RunBaseline(const SimContext& context, const SimInputs& inputs);
 BaselineResult RunBaseline(const PadConfig& config, const SimInputs& inputs);
 
 // `event_log`, when non-null, records every market and dispatch event of the
 // run (see core/event_log.h).
+PadRunResult RunPad(const SimContext& context, const SimInputs& inputs,
+                    EventLog* event_log = nullptr);
 PadRunResult RunPad(const PadConfig& config, const SimInputs& inputs,
                     EventLog* event_log = nullptr);
 

@@ -325,12 +325,14 @@ StatusOr<ShardedComparison> RunShardedResumable(const PadConfig& config,
       out.generate_seconds = SecondsSince(generate_start);
 
       const auto simulate_start = std::chrono::steady_clock::now();
+      // One validation + constant hoist per market; the runners share it.
+      const SimContext market_context = MakeSimContext(market_config);
       if (options.run_baseline) {
-        out.baseline = RunBaseline(market_config, inputs);
+        out.baseline = RunBaseline(market_context, inputs);
         out.baseline_digest = MetricsDigest(out.baseline);
       }
       EventLog log;
-      out.pad = RunPad(market_config, inputs, options.event_digests ? &log : nullptr);
+      out.pad = RunPad(market_context, inputs, options.event_digests ? &log : nullptr);
       out.pad_digest = MetricsDigest(out.pad);
       if (options.event_digests) {
         out.event_digest = log.Digest();

@@ -1,7 +1,7 @@
 #include "src/overbook/replication_planner.h"
 
 #include <algorithm>
-#include <numeric>
+#include <utility>
 
 #include "src/common/check.h"
 #include "src/overbook/poisson_binomial.h"
@@ -10,13 +10,34 @@ namespace pad {
 namespace {
 
 // Candidate order: descending probability, index ascending for determinism.
-std::vector<int> SortedCandidateOrder(std::span<const double> probs) {
-  std::vector<int> order(probs.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-    return probs[static_cast<size_t>(a)] > probs[static_cast<size_t>(b)];
-  });
-  return order;
+// Stable insertion sort into a reused buffer: a stable sort's output
+// permutation is unique, so this matches what std::stable_sort produced —
+// without std::stable_sort's per-call merge-buffer allocation, which the
+// population-scale profile showed once per planned impression. Candidate
+// lists are tens of entries, where insertion sort also wins on constants.
+// Sorting (prob, index) pairs keeps each comparison key adjacent to the
+// element being shifted instead of chasing probs[order[j - 1]].
+void SortedCandidateOrderInto(std::span<const double> probs,
+                              std::vector<std::pair<double, int>>& keyed,
+                              std::vector<int>& order) {
+  const size_t n = probs.size();
+  keyed.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    keyed[i] = {probs[i], static_cast<int>(i)};
+  }
+  for (size_t i = 1; i < n; ++i) {
+    const std::pair<double, int> value = keyed[i];
+    size_t j = i;
+    while (j > 0 && keyed[j - 1].first < value.first) {
+      keyed[j] = keyed[j - 1];
+      --j;
+    }
+    keyed[j] = value;
+  }
+  order.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    order[i] = keyed[i].second;
+  }
 }
 
 }  // namespace
@@ -35,10 +56,12 @@ double ReplicationPlanner::Tail(std::span<const double> probs, int k) const {
 ReplicaPlan ReplicationPlanner::PlanToTarget(std::span<const double> candidate_probs,
                                              int needed) const {
   PAD_CHECK(needed >= 1);
-  const std::vector<int> order = SortedCandidateOrder(candidate_probs);
+  std::vector<int>& order = order_scratch_;
+  SortedCandidateOrderInto(candidate_probs, keyed_scratch_, order);
 
   ReplicaPlan plan;
-  std::vector<double> chosen_probs;
+  std::vector<double>& chosen_probs = chosen_scratch_;
+  chosen_probs.clear();
   for (int index : order) {
     if (plan.replicas() >= config_.max_replicas) {
       break;
@@ -64,11 +87,13 @@ ReplicaPlan ReplicationPlanner::PlanWithFactor(std::span<const double> candidate
                                                int needed, double overbooking_factor) const {
   PAD_CHECK(needed >= 1);
   PAD_CHECK(overbooking_factor > 0.0);
-  const std::vector<int> order = SortedCandidateOrder(candidate_probs);
+  std::vector<int>& order = order_scratch_;
+  SortedCandidateOrderInto(candidate_probs, keyed_scratch_, order);
   const double target_mass = overbooking_factor * static_cast<double>(needed);
 
   ReplicaPlan plan;
-  std::vector<double> chosen_probs;
+  std::vector<double>& chosen_probs = chosen_scratch_;
+  chosen_probs.clear();
   double mass = 0.0;
   for (int index : order) {
     if (plan.replicas() >= config_.max_replicas || mass >= target_mass) {

@@ -22,6 +22,7 @@
 #define ADPAD_SRC_OVERBOOK_REPLICATION_PLANNER_H_
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "src/overbook/display_model.h"
@@ -68,6 +69,12 @@ class ReplicationPlanner {
   double Tail(std::span<const double> probs, int k) const;
 
   PlannerConfig config_;
+  // Per-call scratch (candidate order, discounted chosen probabilities),
+  // reused across plans so the per-impression hot path stops allocating.
+  // Makes a planner single-threaded; each market/server owns its own.
+  mutable std::vector<int> order_scratch_;
+  mutable std::vector<std::pair<double, int>> keyed_scratch_;
+  mutable std::vector<double> chosen_scratch_;
 };
 
 }  // namespace pad

@@ -74,6 +74,17 @@ class RadioMachine {
   // when the data plane frees up. Must not be called after Finalize().
   Result Submit(const Transfer& transfer);
 
+  // Batched fold: submits a whole sorted transfer sequence in one pass with
+  // the machine state held in registers. Byte-identical to calling Submit on
+  // each element in order (same floating-point operations in the same
+  // order); the per-call ordering checks drop to debug-only.
+  void SubmitAll(std::span<const Transfer> transfers);
+
+  // Returns the machine to its post-construction state (zero report, idle
+  // radio), keeping the profile. Lets one machine — and its validated
+  // profile — be reused across users instead of re-copying the profile.
+  void Reset();
+
   // Pays the tail outstanding after the last transfer, truncated at
   // `end_time` (>= the last completion time). Call exactly once, at the end
   // of the simulated horizon.

@@ -1,0 +1,154 @@
+#include "src/common/small_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pad {
+namespace {
+
+TEST(SmallVectorTest, StartsEmptyAndInline) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+  EXPECT_FALSE(v.spilled());
+}
+
+TEST(SmallVectorTest, PushWithinInlineCapacityDoesNotSpill) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) {
+    v.push_back(i * 10);
+  }
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_FALSE(v.spilled());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(v[static_cast<size_t>(i)], i * 10);
+  }
+  EXPECT_EQ(v.front(), 0);
+  EXPECT_EQ(v.back(), 30);
+}
+
+TEST(SmallVectorTest, SpillsPastInlineCapacityPreservingOrder) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 100; ++i) {
+    v.push_back(i);
+  }
+  EXPECT_TRUE(v.spilled());
+  EXPECT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(v[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SmallVectorTest, MatchesStdVectorPushOrderExactly) {
+  SmallVector<int64_t, 3> small;
+  std::vector<int64_t> ref;
+  for (int64_t i = 0; i < 37; ++i) {
+    const int64_t value = (i * 2654435761) % 1000;
+    small.push_back(value);
+    ref.push_back(value);
+  }
+  ASSERT_EQ(small.size(), ref.size());
+  EXPECT_TRUE(std::equal(small.begin(), small.end(), ref.begin()));
+}
+
+TEST(SmallVectorTest, ClearKeepsCapacityAndStorage) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 10; ++i) {
+    v.push_back(i);
+  }
+  const size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+  EXPECT_TRUE(v.spilled());  // Spill is sticky; no shrink on clear.
+  v.push_back(7);
+  EXPECT_EQ(v[0], 7);
+}
+
+TEST(SmallVectorTest, CopyPreservesContentsIndependently) {
+  SmallVector<int, 2> a;
+  for (int i = 0; i < 8; ++i) {
+    a.push_back(i);
+  }
+  SmallVector<int, 2> b(a);
+  a.push_back(99);
+  ASSERT_EQ(b.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(b[static_cast<size_t>(i)], i);
+  }
+  SmallVector<int, 2> c;
+  c.push_back(-1);
+  c = b;
+  ASSERT_EQ(c.size(), 8u);
+  EXPECT_EQ(c[7], 7);
+}
+
+TEST(SmallVectorTest, MoveStealsHeapAndCopiesInline) {
+  SmallVector<int, 2> spilled;
+  for (int i = 0; i < 6; ++i) {
+    spilled.push_back(i);
+  }
+  const int* heap = spilled.begin();
+  SmallVector<int, 2> stolen(std::move(spilled));
+  EXPECT_EQ(stolen.begin(), heap);  // Heap buffer moved, not copied.
+  ASSERT_EQ(stolen.size(), 6u);
+  EXPECT_EQ(stolen[5], 5);
+  EXPECT_TRUE(spilled.empty());
+  EXPECT_FALSE(spilled.spilled());
+
+  SmallVector<int, 4> inline_v;
+  inline_v.push_back(41);
+  inline_v.push_back(42);
+  SmallVector<int, 4> copied(std::move(inline_v));
+  ASSERT_EQ(copied.size(), 2u);
+  EXPECT_EQ(copied[0], 41);
+  EXPECT_EQ(copied[1], 42);
+  EXPECT_FALSE(copied.spilled());
+}
+
+TEST(SmallVectorTest, MoveAssignReleasesOldStorage) {
+  SmallVector<int, 2> target;
+  for (int i = 0; i < 12; ++i) {
+    target.push_back(100 + i);
+  }
+  SmallVector<int, 2> source;
+  source.push_back(1);
+  target = std::move(source);
+  ASSERT_EQ(target.size(), 1u);
+  EXPECT_EQ(target[0], 1);
+  EXPECT_TRUE(source.empty());
+}
+
+TEST(SmallVectorTest, RangeForAndStdFindWork) {
+  SmallVector<int, 3> v;
+  v.push_back(5);
+  v.push_back(6);
+  v.push_back(7);
+  v.push_back(8);
+  int sum = 0;
+  for (int x : v) {
+    sum += x;
+  }
+  EXPECT_EQ(sum, 26);
+  EXPECT_NE(std::find(v.begin(), v.end(), 7), v.end());
+  EXPECT_EQ(std::find(v.begin(), v.end(), 9), v.end());
+}
+
+TEST(SmallVectorTest, ReserveNeverShrinksAndKeepsContents) {
+  SmallVector<int, 2> v;
+  v.push_back(3);
+  v.reserve(50);
+  EXPECT_GE(v.capacity(), 50u);
+  v.reserve(1);
+  EXPECT_GE(v.capacity(), 50u);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 3);
+}
+
+}  // namespace
+}  // namespace pad

@@ -11,7 +11,6 @@
 
 #include <algorithm>
 #include <optional>
-#include <unordered_set>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -41,9 +40,11 @@ class ModelCache {
     return static_cast<int64_t>(before - ads_.size());
   }
 
-  int64_t Invalidate(const std::unordered_set<int64_t>& ids) {
+  int64_t Invalidate(const std::vector<int64_t>& ids) {
     const size_t before = ads_.size();
-    std::erase_if(ads_, [&ids](const CachedAd& ad) { return ids.count(ad.impression_id) != 0; });
+    std::erase_if(ads_, [&ids](const CachedAd& ad) {
+      return std::find(ids.begin(), ids.end(), ad.impression_id) != ids.end();
+    });
     return static_cast<int64_t>(before - ads_.size());
   }
 
@@ -92,11 +93,12 @@ TEST(AdCachePropertyTest, MatchesReferenceModelUnderRandomOperations) {
               << "seed=" << seed << " step=" << step;
           break;
         }
-        case 4: {  // Invalidate a random subset of ids seen so far.
-          std::unordered_set<int64_t> ids;
+        case 4: {  // Invalidate a random batch of ids seen so far. Duplicates
+                   // are allowed: membership semantics make them harmless.
+          std::vector<int64_t> ids;
           const int count = static_cast<int>(rng.UniformInt(0, 5));
           for (int k = 0; k < count; ++k) {
-            ids.insert(rng.UniformInt(1, std::max<int64_t>(1, next_id)));
+            ids.push_back(rng.UniformInt(1, std::max<int64_t>(1, next_id)));
           }
           EXPECT_EQ(cache.Invalidate(ids), model.Invalidate(ids))
               << "seed=" << seed << " step=" << step;

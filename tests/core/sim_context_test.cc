@@ -1,0 +1,70 @@
+// SimContext: configuration is validated exactly once, at MakeSimContext,
+// and the derived constants the hot loops used to recompute are hoisted
+// there. These tests pin the derived values and the failure behavior:
+// invalid configs must still be rejected loudly, with the same message a
+// scattered per-entry-point ValidateConfig produced, and the shard engine's
+// Status-returning surface must keep reporting them as kInvalidArgument.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/core/pad_simulation.h"
+#include "src/core/shard_engine.h"
+
+namespace pad {
+namespace {
+
+TEST(SimContextTest, DerivedConstantsMatchConfigAccessors) {
+  PadConfig config = QuickConfig();
+  config.warmup_days = 7;
+  const SimContext context = MakeSimContext(config);
+  EXPECT_DOUBLE_EQ(context.t0, config.WarmupS());
+  EXPECT_DOUBLE_EQ(context.window_s, config.prediction_window_s);
+  EXPECT_DOUBLE_EQ(context.epoch_s, config.EpochS());
+  EXPECT_EQ(context.warmup_windows,
+            static_cast<int>(std::lround(config.WarmupS() / config.prediction_window_s)));
+  EXPECT_EQ(context.epochs_per_window,
+            static_cast<int>(std::lround(config.prediction_window_s / config.EpochS())));
+  // The window/epoch grid is exact: both ratios are integers by validation.
+  EXPECT_DOUBLE_EQ(context.epoch_s * context.epochs_per_window, context.window_s);
+}
+
+TEST(SimContextTest, InvalidConfigDiesWithValidationMessage) {
+  PadConfig config = QuickConfig();
+  config.prediction_window_s = 0.0;
+  EXPECT_DEATH(MakeSimContext(config), "prediction_window_s");
+}
+
+TEST(SimContextTest, InvalidConfigDiesOnceForEveryEntryPoint) {
+  // The legacy PadConfig overloads route through MakeSimContext, so a bad
+  // config cannot slip past any entry point.
+  PadConfig config = QuickConfig();
+  config.ad_bytes = -1.0;
+  EXPECT_DEATH(GenerateInputs(config), "ad_bytes");
+  EXPECT_DEATH(RunComparison(config), "ad_bytes");
+}
+
+TEST(SimContextTest, ShardEngineStillReportsInvalidArgumentStatus) {
+  PadConfig config = QuickConfig();
+  config.prediction_window_s = -5.0;
+  ShardEngineOptions options;
+  const StatusOr<ShardedComparison> result = RunShardedResumable(config, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("prediction_window_s"), std::string::npos);
+}
+
+TEST(SimContextTest, ShardEngineStillReportsInvalidOptionsStatus) {
+  const PadConfig config = QuickConfig();
+  ShardEngineOptions options;
+  options.max_resident_users = -1;
+  const StatusOr<ShardedComparison> result = RunShardedResumable(config, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("max_resident_users"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pad
