@@ -1,0 +1,252 @@
+#include "src/serve/ad_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace pad {
+namespace {
+
+constexpr size_t kReadChunk = 16 * 1024;
+
+}  // namespace
+
+AdServer::AdServer(const DecisionEngine& engine, AdServerOptions options)
+    : engine_(engine), options_(std::move(options)) {
+  WireResponse shed;
+  shed.status = ResponseStatus::kOverloaded;
+  AppendResponseFrame(shed, &shed_frame_);
+}
+
+AdServer::~AdServer() {
+  for (auto& [fd, connection] : connections_) {
+    close(fd);
+  }
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+  }
+}
+
+Status AdServer::Start() {
+  PAD_RETURN_IF_ERROR(loop_.status());
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::Unavailable(std::string("socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &address.sin_addr) != 1) {
+    return Status::InvalidArgument("unparseable bind host '" + options_.host + "'");
+  }
+  if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+    return Status::Unavailable(std::string("bind: ") + std::strerror(errno));
+  }
+  if (listen(listen_fd_, options_.accept_backlog) != 0) {
+    return Status::Unavailable(std::string("listen: ") + std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    return Status::Unavailable(std::string("getsockname: ") + std::strerror(errno));
+  }
+  port_ = ntohs(bound.sin_port);
+
+  PAD_RETURN_IF_ERROR(loop_.Add(listen_fd_, EPOLLIN, [this](uint32_t) { HandleAccept(); }));
+  loop_.set_round_hook([this] { RoundHook(); });
+  return Status::Ok();
+}
+
+void AdServer::Run() { loop_.Run(); }
+
+void AdServer::RequestDrain() {
+  drain_requested_.store(true, std::memory_order_release);
+  loop_.Wake();
+}
+
+void AdServer::HandleAccept() {
+  while (true) {
+    const int fd = accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      return;  // EAGAIN, or a transient accept error — nothing to do either way.
+    }
+    if (static_cast<int>(connections_.size()) >= options_.max_sessions) {
+      // Load shed: one pre-encoded kOverloaded frame, best effort (a fresh
+      // connection's send buffer always has room for 12 bytes), then close.
+      // The client sees a definite "try later", not a hang.
+      [[maybe_unused]] const ssize_t ignored =
+          send(fd, shed_frame_.data(), shed_frame_.size(), MSG_NOSIGNAL);
+      close(fd);
+      ++stats_.shed;
+      continue;
+    }
+    const int enable = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    auto connection = std::make_unique<Connection>(options_.max_frame_payload);
+    connection->fd = fd;
+    connection->session = engine_.NewSession();
+    connection->mask = EPOLLIN;
+    const Status added =
+        loop_.Add(fd, connection->mask, [this, fd](uint32_t events) { HandleConnection(fd, events); });
+    if (!added.ok()) {
+      close(fd);
+      continue;
+    }
+    ++stats_.accepted;
+    connections_.emplace(fd, std::move(connection));
+  }
+}
+
+void AdServer::HandleConnection(int fd, uint32_t events) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) {
+    return;
+  }
+  Connection& connection = *it->second;
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    Close(connection);
+    return;
+  }
+  if ((events & EPOLLIN) != 0) {
+    char buffer[kReadChunk];
+    while (true) {
+      const ssize_t n = read(fd, buffer, sizeof(buffer));
+      if (n > 0) {
+        const Status appended = connection.reader.Append(
+            std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(buffer),
+                                     static_cast<size_t>(n)));
+        if (!appended.ok()) {
+          break;  // Poisoned reader; ProcessFrames reports and closes.
+        }
+        continue;
+      }
+      if (n == 0) {
+        // Peer finished sending. Answer what arrived, flush, then close.
+        connection.close_after_flush = true;
+        break;
+      }
+      break;  // EAGAIN or error; errors surface as EPOLLHUP/read()=0 later.
+    }
+    ProcessFrames(connection);
+  }
+  FlushOutput(connection);
+}
+
+void AdServer::ProcessFrames(Connection& connection) {
+  std::string payload;
+  bool have = false;
+  while (true) {
+    const Status framed = connection.reader.Next(&payload, &have);
+    if (!framed.ok()) {
+      // Unframeable stream: answer with one kBadRequest so the client learns
+      // why, then hang up. Nothing after a framing error is trustworthy.
+      WireResponse error;
+      error.status = ResponseStatus::kBadRequest;
+      AppendResponseFrame(error, &connection.out);
+      connection.close_after_flush = true;
+      ++stats_.protocol_errors;
+      return;
+    }
+    if (!have) {
+      return;
+    }
+    const StatusOr<WireRequest> request = DecodeRequestPayload(
+        std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(payload.data()),
+                                 payload.size()));
+    if (!request.ok()) {
+      WireResponse error;
+      error.status = ResponseStatus::kBadRequest;
+      AppendResponseFrame(error, &connection.out);
+      connection.close_after_flush = true;
+      ++stats_.protocol_errors;
+      return;
+    }
+    const WireResponse response = engine_.Decide(connection.session, *request);
+    AppendResponseFrame(response, &connection.out);
+    ++stats_.served;
+  }
+}
+
+void AdServer::FlushOutput(Connection& connection) {
+  while (connection.pending_out() > 0) {
+    // MSG_NOSIGNAL: a peer that hung up mid-response must surface as an
+    // error return, not a process-wide SIGPIPE.
+    const ssize_t n = send(connection.fd, connection.out.data() + connection.out_offset,
+                           connection.pending_out(), MSG_NOSIGNAL);
+    if (n > 0) {
+      connection.out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    break;  // EAGAIN (socket buffer full) or a dying peer.
+  }
+  if (connection.pending_out() == 0) {
+    connection.out.clear();
+    connection.out_offset = 0;
+    if (connection.close_after_flush || draining_) {
+      Close(connection);
+      return;
+    }
+    if (connection.mask != EPOLLIN) {
+      connection.mask = EPOLLIN;
+      loop_.Modify(connection.fd, connection.mask);
+    }
+    return;
+  }
+  const uint32_t wanted = EPOLLIN | EPOLLOUT;
+  if (connection.mask != wanted) {
+    connection.mask = wanted;
+    loop_.Modify(connection.fd, connection.mask);
+  }
+}
+
+void AdServer::Close(Connection& connection) {
+  const int fd = connection.fd;
+  loop_.Remove(fd);
+  close(fd);
+  connections_.erase(fd);  // Invalidates `connection`.
+}
+
+void AdServer::RoundHook() {
+  if (!draining_ && drain_requested_.load(std::memory_order_acquire)) {
+    draining_ = true;
+    if (listen_fd_ >= 0) {
+      loop_.Remove(listen_fd_);
+      close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    // Answer everything already buffered, flush, and close as flushes
+    // complete. Collect fds first: FlushOutput may erase from the map.
+    std::vector<int> fds;
+    fds.reserve(connections_.size());
+    for (const auto& [fd, connection] : connections_) {
+      fds.push_back(fd);
+    }
+    for (const int fd : fds) {
+      const auto it = connections_.find(fd);
+      if (it == connections_.end()) {
+        continue;
+      }
+      it->second->close_after_flush = true;
+      ProcessFrames(*it->second);
+      FlushOutput(*it->second);
+    }
+  }
+  if (draining_ && connections_.empty()) {
+    loop_.Stop();
+  }
+}
+
+}  // namespace pad

@@ -1,0 +1,113 @@
+// The real-time ad-serving front end.
+//
+// A single-threaded epoll server (event_loop.h) speaking the length-prefixed
+// wire protocol (wire.h), answering every request through the session
+// adapter (session_adapter.h). One connection owns one DecisionEngine
+// session, so the served decision stream per connection is byte-identical to
+// a batch replay of that connection's requests — the loopback equivalence
+// test's contract.
+//
+// Admission control: at most `max_sessions` concurrent connections. A
+// connection accepted above that bound is answered with a single
+// kOverloaded response (the 503 analog) and closed before any of its
+// requests are read — shedding costs one small write, never a decision, and
+// never touches the sessions already being served. The kernel accept queue
+// is additionally bounded by `accept_backlog`.
+//
+// Graceful drain: RequestDrain() (thread- and signal-safe; wired to
+// SIGTERM/SIGINT by tools/adpad_serve) stops accepting, answers every
+// request already buffered on live connections, flushes every pending
+// response, then lets Run() return. No in-flight request is dropped.
+#ifndef ADPAD_SRC_SERVE_AD_SERVER_H_
+#define ADPAD_SRC_SERVE_AD_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/serve/event_loop.h"
+#include "src/serve/session_adapter.h"
+#include "src/serve/wire.h"
+
+namespace pad {
+
+struct AdServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 binds an ephemeral port; read it back via port().
+  int accept_backlog = 64;
+  int max_sessions = 256;
+  size_t max_frame_payload = kMaxFramePayload;
+};
+
+struct AdServerStats {
+  int64_t accepted = 0;         // Connections admitted past admission control.
+  int64_t shed = 0;             // Connections answered kOverloaded and closed.
+  int64_t served = 0;           // Decisions written.
+  int64_t protocol_errors = 0;  // Connections dropped for malformed frames.
+};
+
+class AdServer {
+ public:
+  // `engine` must outlive the server; Decide is const, so one engine may
+  // back any number of servers.
+  AdServer(const DecisionEngine& engine, AdServerOptions options);
+  ~AdServer();
+  AdServer(const AdServer&) = delete;
+  AdServer& operator=(const AdServer&) = delete;
+
+  // Binds and listens. After Ok, port() is the bound port.
+  Status Start();
+  uint16_t port() const { return port_; }
+
+  // Runs the event loop on the calling thread until a drain completes.
+  void Run();
+
+  // Thread- and async-signal-safe: one atomic store and one eventfd write.
+  void RequestDrain();
+
+  // Stable only once Run() has returned (single owner thread otherwise).
+  const AdServerStats& stats() const { return stats_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    FrameReader reader;
+    DecisionEngine::Session session;
+    std::string out;          // Encoded responses awaiting the socket.
+    size_t out_offset = 0;    // Prefix of `out` already written.
+    bool close_after_flush = false;
+    uint32_t mask = 0;        // Current epoll interest set.
+
+    explicit Connection(size_t max_frame_payload) : reader(max_frame_payload) {}
+    size_t pending_out() const { return out.size() - out_offset; }
+  };
+
+  void HandleAccept();
+  void HandleConnection(int fd, uint32_t events);
+  // Decodes and answers every complete frame buffered on the connection.
+  void ProcessFrames(Connection& connection);
+  // Writes pending output; adjusts EPOLLOUT interest; may close.
+  void FlushOutput(Connection& connection);
+  void Close(Connection& connection);
+  // Runs once per dispatch round: applies a requested drain and finishes it
+  // once every connection has flushed.
+  void RoundHook();
+
+  const DecisionEngine& engine_;
+  AdServerOptions options_;
+  EventLoop loop_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::string shed_frame_;  // Pre-encoded kOverloaded response.
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+  std::atomic<bool> drain_requested_{false};
+  bool draining_ = false;
+  AdServerStats stats_;
+};
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_SERVE_AD_SERVER_H_

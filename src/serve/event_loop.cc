@@ -1,0 +1,106 @@
+#include "src/serve/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+namespace pad {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    status_ = Status::Unavailable(std::string("epoll_create1: ") + std::strerror(errno));
+    return;
+  }
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    status_ = Status::Unavailable(std::string("eventfd: ") + std::strerror(errno));
+    return;
+  }
+  // Drain the wake counter when poked; the wake itself is just "loop once".
+  status_ = Add(wake_fd_, EPOLLIN, [this](uint32_t) {
+    uint64_t drained = 0;
+    while (read(wake_fd_, &drained, sizeof(drained)) > 0) {
+    }
+  });
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) {
+    close(wake_fd_);
+  }
+  if (epoll_fd_ >= 0) {
+    close(epoll_fd_);
+  }
+}
+
+Status EventLoop::Add(int fd, uint32_t events, Callback callback) {
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+    return Status::Unavailable(std::string("epoll_ctl add: ") + std::strerror(errno));
+  }
+  callbacks_[fd] = std::make_shared<Callback>(std::move(callback));
+  return Status::Ok();
+}
+
+Status EventLoop::Modify(int fd, uint32_t events) {
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) != 0) {
+    return Status::Unavailable(std::string("epoll_ctl mod: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+void EventLoop::Remove(int fd) {
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+void EventLoop::Run() {
+  running_.store(true, std::memory_order_release);
+  std::array<epoll_event, 64> events;
+  while (running_.load(std::memory_order_acquire)) {
+    const int n = epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      status_ = Status::Unavailable(std::string("epoll_wait: ") + std::strerror(errno));
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      // A callback earlier in this round may have removed this fd; look the
+      // handler up fresh and keep it alive across its own Remove.
+      const auto it = callbacks_.find(events[static_cast<size_t>(i)].data.fd);
+      if (it == callbacks_.end()) {
+        continue;
+      }
+      const std::shared_ptr<Callback> callback = it->second;
+      (*callback)(events[static_cast<size_t>(i)].events);
+    }
+    if (round_hook_) {
+      round_hook_();
+    }
+  }
+}
+
+void EventLoop::Stop() {
+  running_.store(false, std::memory_order_release);
+  Wake();
+}
+
+void EventLoop::Wake() {
+  const uint64_t one = 1;
+  // Best effort: if the pipe is full the loop is already awake.
+  [[maybe_unused]] const ssize_t ignored = write(wake_fd_, &one, sizeof(one));
+}
+
+}  // namespace pad

@@ -1,0 +1,68 @@
+// A minimal epoll event loop for the serving front end.
+//
+// One thread, one epoll instance, nonblocking fds, level-triggered events —
+// the Apache Traffic Server iocore/net shape reduced to what an ad decision
+// server needs: readiness dispatch, no timers, no cross-thread handoff. The
+// only concession to other threads (and to signal handlers) is Wake(): an
+// eventfd registered with the loop so RequestStop/graceful-drain requests
+// interrupt epoll_wait instead of waiting for the next connection byte.
+#ifndef ADPAD_SRC_SERVE_EVENT_LOOP_H_
+#define ADPAD_SRC_SERVE_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "src/common/status.h"
+
+namespace pad {
+
+class EventLoop {
+ public:
+  // `events` is the epoll event mask (EPOLLIN | EPOLLOUT | ...).
+  using Callback = std::function<void(uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Whether construction acquired its epoll and wake fds. All other calls
+  // require ok().
+  Status status() const { return status_; }
+
+  Status Add(int fd, uint32_t events, Callback callback);
+  Status Modify(int fd, uint32_t events);
+  // Deregisters `fd` (does not close it). Safe from inside a callback.
+  void Remove(int fd);
+
+  // Dispatches events until Stop(). Runs on the caller's thread.
+  void Run();
+
+  // Makes Run return after the current dispatch round. Thread-safe.
+  void Stop();
+
+  // Interrupts a blocked epoll_wait without stopping. Thread- and
+  // async-signal-safe (a single write on an eventfd).
+  void Wake();
+
+  // Arbitrary work to run once per dispatch round, after the events; the
+  // server uses this to make drain progress even on wake-only rounds.
+  void set_round_hook(std::function<void()> hook) { round_hook_ = std::move(hook); }
+
+ private:
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  Status status_;
+  std::atomic<bool> running_{false};
+  // shared_ptr so a callback that removes *another* fd mid-round cannot
+  // destroy a Callback the dispatch loop is about to invoke.
+  std::unordered_map<int, std::shared_ptr<Callback>> callbacks_;
+  std::function<void()> round_hook_;
+};
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_SERVE_EVENT_LOOP_H_

@@ -1,0 +1,201 @@
+#include "src/serve/load_gen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "src/common/rng.h"
+
+namespace pad {
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// Reads exactly one frame payload off a blocking socket. Returns false on
+// EOF/error before a complete frame.
+bool ReadFrame(int fd, FrameReader& reader, std::string* payload) {
+  bool have = false;
+  while (true) {
+    if (!reader.Next(payload, &have).ok()) {
+      return false;
+    }
+    if (have) {
+      return true;
+    }
+    char buffer[4096];
+    const ssize_t n = read(fd, buffer, sizeof(buffer));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    if (!reader
+             .Append(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(buffer),
+                                              static_cast<size_t>(n)))
+             .ok()) {
+      return false;
+    }
+  }
+}
+
+bool WriteAll(int fd, const std::string& bytes) {
+  size_t offset = 0;
+  while (offset < bytes.size()) {
+    // MSG_NOSIGNAL: a shed connection (server answers kOverloaded and closes)
+    // must read as a failed send, not kill the process with SIGPIPE.
+    const ssize_t n = send(fd, bytes.data() + offset, bytes.size() - offset, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    offset += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+struct ConnectionTally {
+  int64_t sent = 0;
+  int64_t responses = 0;
+  int64_t shed = 0;
+  int64_t errors = 0;
+};
+
+}  // namespace
+
+std::vector<WireRequest> BuildRequestPlan(const LoadGenOptions& options, int connection) {
+  // Fork one child stream per connection off the shared seed, exactly the
+  // per-user forking discipline of the trace generator: connection c's plan
+  // depends on (seed, c) alone, never on the other connections.
+  Rng root(options.seed);
+  Rng rng = root.Fork();
+  for (int c = 0; c < connection; ++c) {
+    rng = root.Fork();
+  }
+  int64_t client = options.first_client + connection;
+  if (options.client_count > 0) {
+    client %= options.client_count;
+  }
+  std::vector<WireRequest> plan;
+  plan.reserve(static_cast<size_t>(options.requests_per_connection));
+  for (int r = 0; r < options.requests_per_connection; ++r) {
+    WireRequest request;
+    request.client_id = static_cast<uint64_t>(client);
+    request.slot_count = static_cast<uint32_t>(
+        rng.UniformInt(1, static_cast<int64_t>(std::max<uint32_t>(options.max_slots, 1))));
+    request.deadline_s = options.deadline_s;
+    plan.push_back(request);
+  }
+  return plan;
+}
+
+Status RunLoadGen(const LoadGenOptions& options, LatencyHistogram& latency,
+                  LoadGenReport* report) {
+  if (options.connections <= 0 || options.requests_per_connection <= 0) {
+    return Status::InvalidArgument("load generator needs positive connections and requests");
+  }
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(options.port);
+  if (inet_pton(AF_INET, options.host.c_str(), &address.sin_addr) != 1) {
+    return Status::InvalidArgument("unparseable host '" + options.host + "'");
+  }
+
+  *report = LoadGenReport{};
+  if (options.capture_responses) {
+    report->captured.assign(static_cast<size_t>(options.connections), {});
+  }
+  std::vector<ConnectionTally> tallies(static_cast<size_t>(options.connections));
+
+  const uint64_t start = NowNanos();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(options.connections));
+  for (int c = 0; c < options.connections; ++c) {
+    workers.emplace_back([&, c] {
+      ConnectionTally& tally = tallies[static_cast<size_t>(c)];
+      const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      if (fd < 0) {
+        ++tally.errors;
+        return;
+      }
+      if (connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+        ++tally.errors;
+        close(fd);
+        return;
+      }
+      const int enable = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+
+      const std::vector<WireRequest> plan = BuildRequestPlan(options, c);
+      FrameReader reader;
+      std::string frame;
+      std::string payload;
+      for (const WireRequest& request : plan) {
+        frame.clear();
+        AppendRequestFrame(request, &frame);
+        const uint64_t t0 = NowNanos();
+        if (!WriteAll(fd, frame)) {
+          // A connection that dies before its first response was shed by
+          // admission control: the server may RST before the kOverloaded
+          // frame is readable. After a response, a dead socket is an error.
+          ++(tally.responses == 0 ? tally.shed : tally.errors);
+          break;
+        }
+        ++tally.sent;
+        if (!ReadFrame(fd, reader, &payload)) {
+          ++(tally.responses == 0 ? tally.shed : tally.errors);
+          break;
+        }
+        latency.Record(NowNanos() - t0);
+        // Peek the status byte without a full decode: payload[2] when the
+        // frame is well formed; a malformed server frame is an error.
+        const StatusOr<WireResponse> response = DecodeResponsePayload(
+            std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(payload.data()),
+                                     payload.size()));
+        if (!response.ok()) {
+          ++tally.errors;
+          break;
+        }
+        if (response->status == ResponseStatus::kOverloaded) {
+          ++tally.shed;
+          break;  // The server hung up on this connection.
+        }
+        ++tally.responses;
+        if (options.capture_responses) {
+          report->captured[static_cast<size_t>(c)].push_back(payload);
+        }
+      }
+      close(fd);
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  report->wall_s = static_cast<double>(NowNanos() - start) * 1e-9;
+  for (const ConnectionTally& tally : tallies) {
+    report->requests_sent += tally.sent;
+    report->responses += tally.responses;
+    report->shed += tally.shed;
+    report->errors += tally.errors;
+  }
+  report->qps = report->wall_s > 0.0
+                    ? static_cast<double>(report->responses) / report->wall_s
+                    : 0.0;
+  return Status::Ok();
+}
+
+}  // namespace pad

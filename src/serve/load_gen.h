@@ -1,0 +1,68 @@
+// Closed-loop load generator for the ad-serving front end.
+//
+// Replays PopulationStream clients as N concurrent connections (the jtest /
+// http_load analog for this protocol): connection i carries client
+// first_client + i, sends its deterministic request sequence one at a time,
+// and waits for each response before sending the next — a closed loop, so
+// offered load adapts to server latency and the recorded distribution is
+// response time, not queue time.
+//
+// Determinism: the request sequence of every connection is a pure function
+// of (options.seed, connection index) via forked Rng streams, exposed
+// through BuildRequestPlan so the serving-equivalence test can compute the
+// batch reference answers for exactly the requests the wire carried.
+#ifndef ADPAD_SRC_SERVE_LOAD_GEN_H_
+#define ADPAD_SRC_SERVE_LOAD_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/serve/latency_histogram.h"
+#include "src/serve/wire.h"
+
+namespace pad {
+
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connections = 8;
+  int requests_per_connection = 100;
+  // Client ids: connection i speaks for client first_client + i, wrapped
+  // into [0, client_count) when client_count > 0.
+  int64_t first_client = 0;
+  int64_t client_count = 0;
+  uint64_t seed = 1;
+  // Request shape: slot_count uniform in [1, max_slots], fixed deadline.
+  uint32_t max_slots = 4;
+  double deadline_s = 3.0 * 3600.0;
+  // Capture every response payload per connection (the equivalence test's
+  // evidence; costs memory, off for benches).
+  bool capture_responses = false;
+};
+
+struct LoadGenReport {
+  int64_t requests_sent = 0;
+  int64_t responses = 0;        // Decisions received (status kOk).
+  int64_t shed = 0;             // kOverloaded answers / refused connections.
+  int64_t errors = 0;           // Socket or protocol failures.
+  double wall_s = 0.0;          // First connect to last response.
+  double qps = 0.0;             // responses / wall_s.
+  // responses[c][r] = raw response payload r of connection c (when captured).
+  std::vector<std::vector<std::string>> captured;
+};
+
+// The deterministic request sequence of one connection.
+std::vector<WireRequest> BuildRequestPlan(const LoadGenOptions& options, int connection);
+
+// Runs the closed loop: one thread per connection, blocking sockets.
+// Latencies (nanoseconds per request round trip) are recorded into
+// `latency`; aggregate counts land in `report`. Fails only on setup errors
+// (bad host); per-connection failures are counted, not fatal.
+Status RunLoadGen(const LoadGenOptions& options, LatencyHistogram& latency,
+                  LoadGenReport* report);
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_SERVE_LOAD_GEN_H_

@@ -1,0 +1,94 @@
+// adpad_load — closed-loop load generator for adpad_serve.
+//
+// Replays PopulationStream clients as concurrent connections against a
+// running server and reports the latency distribution and throughput:
+//
+//   $ adpad_load port=7421 connections=8 requests=1000
+//   connections=8 requests_per_connection=1000
+//   requests=8000 responses=8000 shed=0 errors=0
+//   p50=41.2us p99=118.7us p999=301.5us min=22.1us max=812.4us
+//   wall=0.52s qps=15384.6
+//
+// Options (key=value):
+//   host=ADDR, port=N        where the server listens (port is required)
+//   connections=N            concurrent closed-loop connections
+//   requests=N               requests per connection
+//   first_client=N           connection i speaks for client first_client+i
+//   client_count=N           wrap client ids into [0, N) (0 = no wrap)
+//   seed=N                   request-plan seed (deterministic per connection)
+//   max_slots=N              slot_count drawn uniformly from [1, N]
+//   deadline_s=X             per-request display deadline
+//
+// Exit codes: 0 all requests answered, 1 invalid arguments, 2 connect
+// failure or any sheds/errors (the run did not measure what it claims).
+#include <iostream>
+
+#include "src/common/options.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/serve/latency_histogram.h"
+#include "src/serve/load_gen.h"
+
+namespace pad {
+namespace {
+
+std::string Us(uint64_t nanos) {
+  return FormatDouble(static_cast<double>(nanos) / 1000.0, 1) + "us";
+}
+
+int Main(int argc, char** argv) {
+  std::string parse_error;
+  const std::optional<Options> options = Options::Parse(argc, argv, &parse_error);
+  if (!options) {
+    std::cerr << parse_error << "\n";
+    return 1;
+  }
+
+  LoadGenOptions load;
+  load.host = options->GetString("host", "127.0.0.1");
+  load.port = static_cast<uint16_t>(options->GetInt("port", 0));
+  load.connections = options->GetInt("connections", 8);
+  load.requests_per_connection = options->GetInt("requests", 100);
+  load.first_client = options->GetInt("first_client", 0);
+  load.client_count = options->GetInt("client_count", 0);
+  load.seed = static_cast<uint64_t>(options->GetInt("seed", 1));
+  load.max_slots = static_cast<uint32_t>(options->GetInt("max_slots", 4));
+  load.deadline_s = options->GetDouble("deadline_s", load.deadline_s);
+  if (!options->error().empty()) {
+    std::cerr << options->error() << "\n";
+    return 1;
+  }
+  for (const std::string& key : options->UnusedKeys()) {
+    std::cerr << "unknown option '" << key << "'\n";
+    return 1;
+  }
+  if (load.port == 0) {
+    std::cerr << "invalid_argument: port= is required\n";
+    return 1;
+  }
+
+  LatencyHistogram latency;
+  LoadGenReport report;
+  const Status run = RunLoadGen(load, latency, &report);
+  if (!run.ok()) {
+    std::cerr << run.ToString() << "\n";
+    return ExitCodeFor(run);
+  }
+
+  std::cout << "connections=" << load.connections
+            << " requests_per_connection=" << load.requests_per_connection << "\n"
+            << "requests=" << report.requests_sent << " responses=" << report.responses
+            << " shed=" << report.shed << " errors=" << report.errors << "\n"
+            << "p50=" << Us(latency.ValueAtQuantile(0.50))
+            << " p99=" << Us(latency.ValueAtQuantile(0.99))
+            << " p999=" << Us(latency.ValueAtQuantile(0.999)) << " min=" << Us(latency.min())
+            << " max=" << Us(latency.max()) << "\n"
+            << "wall=" << FormatDouble(report.wall_s, 2)
+            << "s qps=" << FormatDouble(report.qps, 1) << "\n";
+  return (report.errors == 0 && report.shed == 0) ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace pad
+
+int main(int argc, char** argv) { return pad::Main(argc, argv); }

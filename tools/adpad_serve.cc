@@ -1,0 +1,117 @@
+// adpad_serve — the real-time ad-serving front end.
+//
+// Builds a DecisionEngine market snapshot over a PopulationStream population
+// and serves auction/prefetch-bundle decisions on the wire protocol until
+// SIGTERM/SIGINT, which triggers a graceful drain: stop accepting, answer
+// everything in flight, flush, exit 0.
+//
+//   $ adpad_serve port=7421 users=400
+//   $ adpad_load host=127.0.0.1 port=7421 connections=8 requests=1000
+//
+// Options (key=value; --config <file> loads one per line):
+//   host=ADDR              bind address        (default 127.0.0.1)
+//   port=N                 bind port; 0 picks an ephemeral port and prints it
+//   users=N                PopulationStream clients in the market snapshot
+//   seed=N                 trace/campaign seed (default QuickConfig's)
+//   max_sessions=N         admission-control bound on concurrent connections
+//   accept_backlog=N       kernel listen(2) backlog
+//   max_bundle_ads=N       largest bundle a request may ask for
+//   arrivals_per_day=X     campaign arrival rate (default scales with users)
+//   num_segments=N         audience segments (campaign targeting)
+//   capacity_confidence=C  per-client sale-capacity confidence bar
+//
+// Exit codes: 0 ok (including signal-triggered drain), 1 invalid
+// argument/config, 2 environment failure (bind/listen).
+#include <csignal>
+#include <iostream>
+
+#include "src/common/options.h"
+#include "src/common/status.h"
+#include "src/serve/ad_server.h"
+#include "src/serve/session_adapter.h"
+
+namespace pad {
+namespace {
+
+AdServer* g_server = nullptr;
+
+void HandleStopSignal(int) {
+  if (g_server != nullptr) {
+    g_server->RequestDrain();  // Atomic store + eventfd write: signal-safe.
+  }
+}
+
+int Main(int argc, char** argv) {
+  std::string parse_error;
+  const std::optional<Options> options = Options::Parse(argc, argv, &parse_error);
+  if (!options) {
+    std::cerr << parse_error << "\n";
+    return 1;
+  }
+
+  ServeConfig config = DefaultServeConfig(options->GetInt("users", 200));
+  config.pad.seed = static_cast<uint64_t>(options->GetInt("seed", 1234));
+  config.pad.population.seed = config.pad.seed;
+  config.max_bundle_ads = static_cast<uint32_t>(options->GetInt("max_bundle_ads", 32));
+  if (options->Has("arrivals_per_day")) {
+    config.pad.campaigns.arrivals_per_day = options->GetDouble("arrivals_per_day", 0.0);
+  }
+  if (options->Has("num_segments")) {
+    const int segments = options->GetInt("num_segments", 1);
+    config.pad.population.num_segments = segments;
+    config.pad.campaigns.num_segments = segments;
+    config.pad.exchange.num_segments = segments;
+  }
+  config.pad.capacity_confidence =
+      options->GetDouble("capacity_confidence", config.pad.capacity_confidence);
+
+  AdServerOptions server_options;
+  server_options.host = options->GetString("host", "127.0.0.1");
+  server_options.port = static_cast<uint16_t>(options->GetInt("port", 0));
+  server_options.max_sessions = options->GetInt("max_sessions", 256);
+  server_options.accept_backlog = options->GetInt("accept_backlog", 64);
+  if (!options->error().empty()) {
+    std::cerr << options->error() << "\n";
+    return 1;
+  }
+  for (const std::string& key : options->UnusedKeys()) {
+    std::cerr << "unknown option '" << key << "'\n";
+    return 1;
+  }
+
+  StatusOr<std::unique_ptr<DecisionEngine>> engine = DecisionEngine::Create(config);
+  if (!engine.ok()) {
+    std::cerr << engine.status().ToString() << "\n";
+    return ExitCodeFor(engine.status());
+  }
+
+  AdServer server(**engine, server_options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << started.ToString() << "\n";
+    return ExitCodeFor(started);
+  }
+
+  g_server = &server;
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGINT, HandleStopSignal);
+
+  std::cout << "adpad_serve listening on " << server_options.host << ":" << server.port()
+            << " — " << (*engine)->num_clients() << " clients, "
+            << (*engine)->active_campaigns() << " active campaigns, max_sessions="
+            << server_options.max_sessions << "\n"
+            << std::flush;
+  server.Run();
+  g_server = nullptr;
+
+  const AdServerStats& stats = server.stats();
+  std::cout << "drained: accepted=" << stats.accepted << " served=" << stats.served
+            << " shed=" << stats.shed << " protocol_errors=" << stats.protocol_errors
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace pad
+
+int main(int argc, char** argv) { return pad::Main(argc, argv); }
