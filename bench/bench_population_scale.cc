@@ -148,7 +148,7 @@ int RunScaleCeiling(const ScaleOptions& scale, const SweepOptions& sweep,
   json.Add("peak_resident_users", static_cast<double>(result.peak_resident_users), "users",
            label);
   json.Add("users_per_sec", users_per_s, "users/s", label);
-  json.Add("peak_rss_mib", rss_mib, "MiB", label);
+  json.Add("max_rss_mib", rss_mib, "MiB", label);
 
   if (scale.measure_checkpoint) {
     const char* tmpdir = std::getenv("TMPDIR");

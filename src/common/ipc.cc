@@ -1,0 +1,250 @@
+#include "src/common/ipc.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pad {
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 4;  // The u32 length prefix.
+
+uint32_t ReadU32Le(const char* data) {
+  uint32_t value = 0;
+  for (int byte = 0; byte < 4; ++byte) {
+    value |= static_cast<uint32_t>(static_cast<unsigned char>(data[byte])) << (8 * byte);
+  }
+  return value;
+}
+
+Status ErrnoStatus(const char* what) {
+  return Status::Unavailable(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+StatusOr<IpcSocketPair> CreateIpcSocketPair() {
+  int fds[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0) {
+    return ErrnoStatus("socketpair");
+  }
+  return IpcSocketPair{fds[0], fds[1]};
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Payload packing.
+
+void IpcPutU32(std::string* out, uint32_t value) {
+  for (int byte = 0; byte < 4; ++byte) {
+    out->push_back(static_cast<char>((value >> (8 * byte)) & 0xffu));
+  }
+}
+
+void IpcPutU64(std::string* out, uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    out->push_back(static_cast<char>((value >> (8 * byte)) & 0xffull));
+  }
+}
+
+void IpcPutI64(std::string* out, int64_t value) { IpcPutU64(out, static_cast<uint64_t>(value)); }
+
+void IpcPutF64(std::string* out, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  IpcPutU64(out, bits);
+}
+
+void IpcPutString(std::string* out, std::string_view value) {
+  IpcPutU32(out, static_cast<uint32_t>(value.size()));
+  out->append(value);
+}
+
+bool IpcParser::Need(size_t bytes) {
+  if (!ok_ || data_.size() - pos_ < bytes) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint32_t IpcParser::GetU32() {
+  if (!Need(4)) {
+    return 0;
+  }
+  const uint32_t value = ReadU32Le(data_.data() + pos_);
+  pos_ += 4;
+  return value;
+}
+
+uint64_t IpcParser::GetU64() {
+  if (!Need(8)) {
+    return 0;
+  }
+  uint64_t value = 0;
+  for (int byte = 0; byte < 8; ++byte) {
+    value |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + byte])) << (8 * byte);
+  }
+  pos_ += 8;
+  return value;
+}
+
+int64_t IpcParser::GetI64() { return static_cast<int64_t>(GetU64()); }
+
+double IpcParser::GetF64() {
+  const uint64_t bits = GetU64();
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::string IpcParser::GetString() {
+  const uint32_t length = GetU32();
+  if (!Need(length)) {
+    return std::string();
+  }
+  std::string value(data_.substr(pos_, length));
+  pos_ += length;
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O.
+
+Status SendIpcFrame(int fd, uint8_t type, std::string_view payload) {
+  if (payload.size() + 1 > kMaxIpcPayload) {
+    return Status::InvalidArgument("ipc frame payload exceeds kMaxIpcPayload");
+  }
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + 1 + payload.size());
+  IpcPutU32(&frame, static_cast<uint32_t>(1 + payload.size()));
+  frame.push_back(static_cast<char>(type));
+  frame.append(payload);
+
+  size_t written = 0;
+  while (written < frame.size()) {
+    // MSG_NOSIGNAL: a peer that died mid-run must surface as a Status the
+    // coordinator's reap path can handle, never a SIGPIPE.
+    const ssize_t n =
+        ::send(fd, frame.data() + written, frame.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::Unavailable("peer closed");
+      }
+      return ErrnoStatus("ipc send");
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+// Blocking read of exactly `count` bytes. kUnavailable("peer closed") on EOF
+// at a frame boundary is distinguished by the caller via bytes_read.
+Status ReadExactly(int fd, char* out, size_t count, size_t* bytes_read) {
+  *bytes_read = 0;
+  while (*bytes_read < count) {
+    const ssize_t n = ::read(fd, out + *bytes_read, count - *bytes_read);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoStatus("ipc read");
+    }
+    if (n == 0) {
+      return Status::Unavailable("peer closed");
+    }
+    *bytes_read += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<IpcMessage> RecvIpcFrame(int fd, uint32_t max_payload) {
+  char header[kFrameHeaderBytes];
+  size_t got = 0;
+  PAD_RETURN_IF_ERROR(ReadExactly(fd, header, sizeof(header), &got));
+  const uint32_t length = ReadU32Le(header);
+  if (length == 0 || length > max_payload) {
+    return Status::DataLoss("ipc frame length " + std::to_string(length) +
+                            " outside (0, " + std::to_string(max_payload) + "]");
+  }
+  std::string body(length, '\0');
+  PAD_RETURN_IF_ERROR(ReadExactly(fd, body.data(), body.size(), &got));
+  IpcMessage message;
+  message.type = static_cast<uint8_t>(body[0]);
+  message.payload = body.substr(1);
+  return message;
+}
+
+Status IpcChannelReader::Pump(int fd) {
+  PAD_RETURN_IF_ERROR(poison_);
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Ok();
+      }
+      return ErrnoStatus("ipc read");
+    }
+    if (n == 0) {
+      return Status::Unavailable("peer closed");
+    }
+    // Reclaim the consumed prefix before growing (wire.h's FrameReader
+    // discipline: amortized O(1), bounded memory for any frame mix).
+    if (consumed_ > 0) {
+      buffer_.erase(0, consumed_);
+      consumed_ = 0;
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+    if (static_cast<size_t>(n) < sizeof(chunk)) {
+      return Status::Ok();  // Drained what was available.
+    }
+  }
+}
+
+Status IpcChannelReader::Next(IpcMessage* message, bool* have) {
+  *have = false;
+  PAD_RETURN_IF_ERROR(poison_);
+  const size_t pending = buffer_.size() - consumed_;
+  if (pending < kFrameHeaderBytes) {
+    return Status::Ok();
+  }
+  const uint32_t length = ReadU32Le(buffer_.data() + consumed_);
+  if (length == 0 || length > max_payload_) {
+    poison_ = Status::DataLoss("ipc frame length " + std::to_string(length) +
+                               " outside (0, " + std::to_string(max_payload_) + "]");
+    return poison_;
+  }
+  if (pending < kFrameHeaderBytes + length) {
+    return Status::Ok();
+  }
+  const char* body = buffer_.data() + consumed_ + kFrameHeaderBytes;
+  message->type = static_cast<uint8_t>(body[0]);
+  message->payload.assign(body + 1, length - 1);
+  consumed_ += kFrameHeaderBytes + length;
+  *have = true;
+  return Status::Ok();
+}
+
+}  // namespace pad

@@ -16,6 +16,8 @@ const char* StatusCodeName(StatusCode code) {
       return "data_loss";
     case StatusCode::kUnavailable:
       return "unavailable";
+    case StatusCode::kAborted:
+      return "aborted";
     case StatusCode::kInternal:
       return "internal";
   }
@@ -44,6 +46,8 @@ int ExitCodeFor(const Status& status) {
       return 4;
     case StatusCode::kInternal:
       return 5;
+    case StatusCode::kAborted:
+      return 6;
   }
   return 5;
 }

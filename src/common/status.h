@@ -26,6 +26,8 @@ enum class StatusCode {
   kFailedPrecondition,  // State mismatch: e.g. a checkpoint whose fingerprint is stale.
   kDataLoss,            // Input exists but is corrupt beyond recovery.
   kUnavailable,         // Transient environment failure (I/O error mid-operation).
+  kAborted,             // A cooperating process died mid-run; completed work is
+                        // durable (journaled) and rerunning resumes it.
   kInternal,            // Invariant violation surfaced as a status (should not happen).
 };
 
@@ -53,6 +55,9 @@ class Status {
   static Status Unavailable(std::string message) {
     return Status(StatusCode::kUnavailable, std::move(message));
   }
+  static Status Aborted(std::string message) {
+    return Status(StatusCode::kAborted, std::move(message));
+  }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
   }
@@ -72,7 +77,9 @@ class Status {
 // Conventional process exit status for a failure: tools map their terminal
 // Status through this so each failure class exits distinctly (and testably).
 //   ok = 0, invalid_argument = 1, not_found/unavailable = 2,
-//   failed_precondition = 3, data_loss = 4, internal = 5.
+//   failed_precondition = 3, data_loss = 4, internal = 5, aborted = 6
+//   (a worker process died and the run could not complete; completed markets
+//   are journaled, so rerunning the same command resumes).
 int ExitCodeFor(const Status& status);
 
 // A Status or a value. The value is only accessible when ok(); dereferencing

@@ -479,6 +479,13 @@ StatusOr<std::unique_ptr<CheckpointWriter>> CheckpointWriter::Create(
     return Status::Unavailable("cannot write checkpoint magic to '" + path + "'");
   }
   PAD_RETURN_IF_ERROR(writer->WriteFrame(SerializeHeader(header)));
+  if (fsync_each) {
+    // The frames above are durable through fd, but the file's directory
+    // entry is not until the directory itself is synced: a crash right
+    // after creation could otherwise lose the journal *file*, name and all,
+    // while its bytes sit in an unreachable inode.
+    PAD_RETURN_IF_ERROR(FsyncParentDir(path));
+  }
   return writer;
 }
 
@@ -633,6 +640,69 @@ StatusOr<CheckpointContents> ReadCheckpoint(const std::string& path) {
     contents.valid_bytes = 8;
   }
   return contents;
+}
+
+// ---------------------------------------------------------------------------
+// Shared open-or-resume protocol.
+
+Status CheckJournalHeader(const CheckpointHeader& found, const CheckpointHeader& expected,
+                          const std::string& path) {
+  if (found.config_fingerprint != expected.config_fingerprint ||
+      found.population_seed != expected.population_seed ||
+      found.total_users != expected.total_users || found.num_markets != expected.num_markets) {
+    return Status::FailedPrecondition(
+        "checkpoint journal '" + path +
+        "' was written by a different experiment (config fingerprint mismatch); "
+        "delete the journal or point the checkpoint at a fresh path");
+  }
+  if (found.run_baseline != expected.run_baseline ||
+      found.event_digests != expected.event_digests) {
+    return Status::FailedPrecondition(
+        "checkpoint journal '" + path +
+        "' was written with different engine result flags (run_baseline/event_digests); "
+        "rerun with the original flags or delete the journal");
+  }
+  return Status::Ok();
+}
+
+Status FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Unavailable("cannot open directory '" + dir +
+                               "' for fsync: " + std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Unavailable("cannot fsync directory '" + dir +
+                               "': " + std::strerror(saved_errno));
+  }
+  return Status::Ok();
+}
+
+StatusOr<ResumedJournal> OpenOrResumeJournal(const std::string& path,
+                                             const CheckpointHeader& expected,
+                                             bool fsync_each) {
+  ResumedJournal journal;
+  StatusOr<CheckpointContents> read = ReadCheckpoint(path);
+  if (!read.ok()) {
+    if (read.status().code() != StatusCode::kNotFound) {
+      return read.status();  // Foreign file or unreadable schema: refuse.
+    }
+  } else if (read->has_header) {
+    PAD_RETURN_IF_ERROR(CheckJournalHeader(read->header, expected, path));
+    journal.records = std::move(read->markets);
+    PAD_ASSIGN_OR_RETURN(journal.writer,
+                         CheckpointWriter::Resume(path, read->valid_bytes, fsync_each));
+    return journal;
+  }
+  // No journal yet, or a crash between create and the first fsync left no
+  // CRC-valid header: nothing to resume, start fresh.
+  PAD_ASSIGN_OR_RETURN(journal.writer, CheckpointWriter::Create(path, expected, fsync_each));
+  return journal;
 }
 
 }  // namespace pad

@@ -138,6 +138,37 @@ struct CheckpointContents {
 // a foreign file as a resumable journal keeps resume from clobbering it).
 StatusOr<CheckpointContents> ReadCheckpoint(const std::string& path);
 
+// kFailedPrecondition when `found` (a journal's header) does not belong to
+// the experiment described by `expected`: config fingerprint, population,
+// partition, or engine result flags differ. `path` names the journal in the
+// diagnostic.
+Status CheckJournalHeader(const CheckpointHeader& found, const CheckpointHeader& expected,
+                          const std::string& path);
+
+// fsyncs the directory containing `path`, making `path`'s directory entry
+// itself durable. CheckpointWriter::Create runs this after creating a
+// journal: the record frames are fsync'd through the file descriptor, but a
+// crash immediately after creation could otherwise lose the *file* — the
+// data would be on disk with no name pointing at it. Exposed because the
+// multi-process coordinator needs the same barrier after unlinking merged
+// worker journals.
+Status FsyncParentDir(const std::string& path);
+
+// The open-or-resume protocol both engines run against a journal path:
+//   * no file / torn-before-header  -> create fresh, write `expected`;
+//   * valid journal, header matches -> truncate the torn tail, return the
+//     CRC-valid records, and position the writer for append;
+//   * header mismatch               -> kFailedPrecondition (stale journal);
+//   * not a journal at all          -> kInvalidArgument (never clobbered).
+struct ResumedJournal {
+  std::unique_ptr<CheckpointWriter> writer;
+  // CRC- and digest-valid records restored from the file (empty when fresh).
+  std::vector<MarketRecord> records;
+};
+StatusOr<ResumedJournal> OpenOrResumeJournal(const std::string& path,
+                                             const CheckpointHeader& expected,
+                                             bool fsync_each);
+
 }  // namespace pad
 
 #endif  // ADPAD_SRC_CORE_CHECKPOINT_H_

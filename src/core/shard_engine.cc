@@ -118,26 +118,6 @@ struct LaneWatch {
   std::atomic<int64_t> start_ms{0};
 };
 
-Status CheckJournalHeader(const CheckpointHeader& found, const CheckpointHeader& expected,
-                          const std::string& path) {
-  if (found.config_fingerprint != expected.config_fingerprint ||
-      found.population_seed != expected.population_seed ||
-      found.total_users != expected.total_users || found.num_markets != expected.num_markets) {
-    return Status::FailedPrecondition(
-        "checkpoint journal '" + path +
-        "' was written by a different experiment (config fingerprint mismatch); "
-        "delete the journal or point the checkpoint at a fresh path");
-  }
-  if (found.run_baseline != expected.run_baseline ||
-      found.event_digests != expected.event_digests) {
-    return Status::FailedPrecondition(
-        "checkpoint journal '" + path +
-        "' was written with different engine result flags (run_baseline/event_digests); "
-        "rerun with the original flags or delete the journal");
-  }
-  return Status::Ok();
-}
-
 }  // namespace
 
 std::vector<int64_t> MarketBoundaries(int64_t num_users, int64_t market_users) {
@@ -149,6 +129,93 @@ std::vector<int64_t> MarketBoundaries(int64_t num_users, int64_t market_users) {
   }
   boundaries.push_back(num_users);
   return boundaries;
+}
+
+CheckpointHeader JournalHeaderFor(const PadConfig& aligned, int num_markets, bool run_baseline,
+                                  bool event_digests) {
+  CheckpointHeader header;
+  header.config_fingerprint = ConfigFingerprint(aligned);
+  header.population_seed = aligned.population.seed;
+  header.total_users = aligned.population.num_users;
+  header.num_markets = num_markets;
+  header.run_baseline = run_baseline;
+  header.event_digests = event_digests;
+  return header;
+}
+
+MarketRecord SimulateMarket(const PadConfig& aligned, const std::vector<int64_t>& boundaries,
+                            int market, PopulationStream& stream, bool run_baseline,
+                            bool event_digests) {
+  const int num_markets = static_cast<int>(boundaries.size()) - 1;
+  const int64_t num_users = boundaries.back();
+  const int64_t lo = boundaries[static_cast<size_t>(market)];
+  const int64_t hi = boundaries[static_cast<size_t>(market) + 1];
+  MarketRecord out;
+  out.market = market;
+
+  const auto generate_start = std::chrono::steady_clock::now();
+  stream.SeekUsers(lo);
+  const PadConfig market_config = MarketConfig(aligned, market, lo, hi, num_users, num_markets);
+  SimInputs inputs{stream.NextBlock(hi - lo), AppCatalog::TopFifteen(),
+                   GenerateCampaignStream(market_config.campaigns)};
+  for (const UserTrace& user : inputs.population.users) {
+    out.sessions += static_cast<int64_t>(user.sessions.size());
+  }
+  out.generate_seconds = SecondsSince(generate_start);
+
+  const auto simulate_start = std::chrono::steady_clock::now();
+  // One validation + constant hoist per market; the runners share it.
+  const SimContext market_context = MakeSimContext(market_config);
+  if (run_baseline) {
+    out.baseline = RunBaseline(market_context, inputs);
+    out.baseline_digest = MetricsDigest(out.baseline);
+  }
+  EventLog log;
+  out.pad = RunPad(market_context, inputs, event_digests ? &log : nullptr);
+  out.pad_digest = MetricsDigest(out.pad);
+  if (event_digests) {
+    out.event_digest = log.Digest();
+  }
+  out.simulate_seconds = SecondsSince(simulate_start);
+  // The market's traces (and its event log) are freed on return: `inputs`
+  // goes out of scope here.
+  return out;
+}
+
+void FoldMarketRecords(std::vector<MarketRecord>& records, bool run_baseline,
+                       bool event_digests, ShardedComparison* merged) {
+  bool first_market = true;
+  for (size_t m = 0; m < records.size(); ++m) {
+    MarketRecord& result = records[m];
+    if (result.market != static_cast<int32_t>(m)) {
+      continue;  // Interrupted before this market finished.
+    }
+    if (first_market) {
+      merged->totals.baseline = std::move(result.baseline);
+      merged->totals.pad = std::move(result.pad);
+      first_market = false;
+    } else {
+      merged->totals.baseline.Merge(result.baseline);
+      merged->totals.pad.Merge(result.pad);
+    }
+    merged->total_sessions += result.sessions;
+    merged->generate_seconds += result.generate_seconds;
+    merged->simulate_seconds += result.simulate_seconds;
+    merged->market_pad_digests.push_back(result.pad_digest);
+    if (run_baseline) {
+      merged->market_baseline_digests.push_back(result.baseline_digest);
+    }
+    if (event_digests) {
+      merged->market_event_digests.push_back(result.event_digest);
+    }
+  }
+  merged->combined_pad_digest = DigestCombine(merged->market_pad_digests);
+  if (run_baseline) {
+    merged->combined_baseline_digest = DigestCombine(merged->market_baseline_digests);
+  }
+  if (event_digests) {
+    merged->combined_event_digest = DigestCombine(merged->market_event_digests);
+  }
 }
 
 std::string ValidateShardOptions(const PadConfig& config, const ShardEngineOptions& options) {
@@ -193,46 +260,22 @@ StatusOr<ShardedComparison> RunShardedResumable(const PadConfig& config,
   const int lanes = ResolveWorkers(options, num_markets);
 
   // Per-market result slots: restored from the journal or filled by a lane.
-  // `completed[m]` marks slots holding a finished market (plain bytes written
+  // Slot m holds a finished market iff its .market == m (plain bytes written
   // by at most one thread each, read after the pool joins).
   std::vector<MarketRecord> results(static_cast<size_t>(num_markets));
-  std::vector<char> completed(static_cast<size_t>(num_markets), 0);
   int resumed = 0;
 
   std::unique_ptr<CheckpointWriter> writer;
   if (!options.checkpoint_path.empty()) {
-    CheckpointHeader header;
-    header.config_fingerprint = ConfigFingerprint(aligned);
-    header.population_seed = aligned.population.seed;
-    header.total_users = num_users;
-    header.num_markets = num_markets;
-    header.run_baseline = options.run_baseline;
-    header.event_digests = options.event_digests;
-
-    StatusOr<CheckpointContents> read = ReadCheckpoint(options.checkpoint_path);
-    bool fresh = false;
-    if (!read.ok()) {
-      if (read.status().code() != StatusCode::kNotFound) {
-        return read.status();  // Foreign file or unreadable schema: refuse.
-      }
-      fresh = true;  // No journal yet.
-    } else if (!read->has_header) {
-      fresh = true;  // Crash before the header landed: nothing to resume.
-    } else {
-      PAD_RETURN_IF_ERROR(CheckJournalHeader(read->header, header, options.checkpoint_path));
-      for (MarketRecord& record : read->markets) {
-        const size_t m = static_cast<size_t>(record.market);
-        results[m] = std::move(record);
-        completed[m] = 1;
-        ++resumed;
-      }
-      PAD_ASSIGN_OR_RETURN(
-          writer, CheckpointWriter::Resume(options.checkpoint_path, read->valid_bytes,
-                                           options.checkpoint_fsync));
-    }
-    if (fresh) {
-      PAD_ASSIGN_OR_RETURN(writer, CheckpointWriter::Create(options.checkpoint_path, header,
-                                                            options.checkpoint_fsync));
+    const CheckpointHeader header =
+        JournalHeaderFor(aligned, num_markets, options.run_baseline, options.event_digests);
+    PAD_ASSIGN_OR_RETURN(ResumedJournal journal,
+                         OpenOrResumeJournal(options.checkpoint_path, header,
+                                             options.checkpoint_fsync));
+    writer = std::move(journal.writer);
+    for (MarketRecord& record : journal.records) {
+      results[static_cast<size_t>(record.market)] = std::move(record);
+      ++resumed;
     }
   }
 
@@ -300,47 +343,18 @@ StatusOr<ShardedComparison> RunShardedResumable(const PadConfig& config,
 
   const auto run_market = [&](int lane, int64_t task) {
     const int m = static_cast<int>(task);
-    if (completed[static_cast<size_t>(m)]) {
+    if (results[static_cast<size_t>(m)].market == m) {
       return;  // Restored from the journal; nothing to simulate.
     }
     const int64_t lo = boundaries[static_cast<size_t>(m)];
     const int64_t hi = boundaries[static_cast<size_t>(m) + 1];
     gate.Acquire(hi - lo);
-    MarketRecord& out = results[static_cast<size_t>(m)];
-    out.market = m;
     watch[static_cast<size_t>(lane)].start_ms.store(now_ms());
     watch[static_cast<size_t>(lane)].market.store(m);
     const double busy_start = ThreadCpuSeconds();
-
-    {
-      const auto generate_start = std::chrono::steady_clock::now();
-      PopulationStream& stream = *streams[static_cast<size_t>(lane)];
-      stream.SeekUsers(lo);
-      const PadConfig market_config = MarketConfig(aligned, m, lo, hi, num_users, num_markets);
-      SimInputs inputs{stream.NextBlock(hi - lo), AppCatalog::TopFifteen(),
-                       GenerateCampaignStream(market_config.campaigns)};
-      for (const UserTrace& user : inputs.population.users) {
-        out.sessions += static_cast<int64_t>(user.sessions.size());
-      }
-      out.generate_seconds = SecondsSince(generate_start);
-
-      const auto simulate_start = std::chrono::steady_clock::now();
-      // One validation + constant hoist per market; the runners share it.
-      const SimContext market_context = MakeSimContext(market_config);
-      if (options.run_baseline) {
-        out.baseline = RunBaseline(market_context, inputs);
-        out.baseline_digest = MetricsDigest(out.baseline);
-      }
-      EventLog log;
-      out.pad = RunPad(market_context, inputs, options.event_digests ? &log : nullptr);
-      out.pad_digest = MetricsDigest(out.pad);
-      if (options.event_digests) {
-        out.event_digest = log.Digest();
-      }
-      out.simulate_seconds = SecondsSince(simulate_start);
-      // Free the market's traces (and its event log) before admitting more
-      // users: `inputs` goes out of scope here.
-    }
+    results[static_cast<size_t>(m)] =
+        SimulateMarket(aligned, boundaries, m, *streams[static_cast<size_t>(lane)],
+                       options.run_baseline, options.event_digests);
     market_busy_s[static_cast<size_t>(m)] = ThreadCpuSeconds() - busy_start;
     market_workers[static_cast<size_t>(m)] = lane;
     watch[static_cast<size_t>(lane)].market.store(-1);
@@ -349,10 +363,9 @@ StatusOr<ShardedComparison> RunShardedResumable(const PadConfig& config,
     if (writer != nullptr) {
       std::lock_guard<std::mutex> lock(journal_mutex);
       if (journal_status.ok()) {
-        journal_status = writer->Append(out);
+        journal_status = writer->Append(results[static_cast<size_t>(m)]);
       }
     }
-    completed[static_cast<size_t>(m)] = 1;
   };
 
   TaskSchedulerOptions scheduler_options;
@@ -381,38 +394,7 @@ StatusOr<ShardedComparison> RunShardedResumable(const PadConfig& config,
   merged.market_busy_s = std::move(market_busy_s);
   merged.workers_used = scheduler_stats.workers;
   merged.tasks_stolen = scheduler_stats.stolen;
-  bool first_market = true;
-  for (int m = 0; m < num_markets; ++m) {
-    if (completed[static_cast<size_t>(m)] == 0) {
-      continue;  // Interrupted before this market finished.
-    }
-    MarketRecord& result = results[static_cast<size_t>(m)];
-    if (first_market) {
-      merged.totals.baseline = std::move(result.baseline);
-      merged.totals.pad = std::move(result.pad);
-      first_market = false;
-    } else {
-      merged.totals.baseline.Merge(result.baseline);
-      merged.totals.pad.Merge(result.pad);
-    }
-    merged.total_sessions += result.sessions;
-    merged.generate_seconds += result.generate_seconds;
-    merged.simulate_seconds += result.simulate_seconds;
-    merged.market_pad_digests.push_back(result.pad_digest);
-    if (options.run_baseline) {
-      merged.market_baseline_digests.push_back(result.baseline_digest);
-    }
-    if (options.event_digests) {
-      merged.market_event_digests.push_back(result.event_digest);
-    }
-  }
-  merged.combined_pad_digest = DigestCombine(merged.market_pad_digests);
-  if (options.run_baseline) {
-    merged.combined_baseline_digest = DigestCombine(merged.market_baseline_digests);
-  }
-  if (options.event_digests) {
-    merged.combined_event_digest = DigestCombine(merged.market_event_digests);
-  }
+  FoldMarketRecords(results, options.run_baseline, options.event_digests, &merged);
   merged.peak_resident_users = gate.peak();
   return merged;
 }

@@ -52,10 +52,13 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/core/checkpoint.h"
 #include "src/core/config.h"
 #include "src/core/metrics.h"
 
 namespace pad {
+
+class PopulationStream;
 
 // How markets are handed to the worker lanes.
 enum class ScheduleMode {
@@ -152,6 +155,14 @@ struct ShardedComparison {
   int workers_used = 0;
   int64_t tasks_stolen = 0;             // Markets run by a non-initial owner.
 
+  // Multi-process execution trace (core/multiproc_engine.h); zero under the
+  // in-process engine. workers_died counts worker processes that exited or
+  // were killed before draining their assignments; markets_reassigned counts
+  // assignments that had to be handed to a surviving worker.
+  int worker_processes = 0;
+  int workers_died = 0;
+  int64_t markets_reassigned = 0;
+
   // Markets restored from the checkpoint journal instead of simulated.
   int resumed_markets = 0;
   // True when stop_requested fired before every market completed. The totals
@@ -181,6 +192,37 @@ ShardedComparison RunShardedComparison(const PadConfig& config,
 // The market partition the engine uses, exposed for tests and tools:
 // market m covers users [boundaries[m], boundaries[m + 1]).
 std::vector<int64_t> MarketBoundaries(int64_t num_users, int64_t market_users);
+
+// The journal header describing a run of `aligned` (config fingerprint,
+// population, partition, result flags) — what OpenOrResumeJournal checks an
+// existing journal against. Both engines and the multi-process workers build
+// their headers through this one function so "same experiment" has a single
+// definition.
+CheckpointHeader JournalHeaderFor(const PadConfig& aligned, int num_markets, bool run_baseline,
+                                  bool event_digests);
+
+// Simulates ONE market end to end — seek the stream to the market's first
+// user, generate its traces, run baseline+PAD, digest — and returns the
+// completed record. This is the hermetic unit both engines execute: the
+// in-process scheduler runs it on a lane thread, the multi-process worker
+// (core/multiproc_engine.h) runs it in a forked child, and because it
+// depends only on (`aligned`, `boundaries`, `market`, flags) — never on who
+// runs it or in what order — the two engines are byte-identical by
+// construction. `aligned` must already be AlignInputsConfig'd; `stream` must
+// be built over aligned.population (any position; the seek is bit-identical
+// to sequential generation).
+MarketRecord SimulateMarket(const PadConfig& aligned, const std::vector<int64_t>& boundaries,
+                            int market, PopulationStream& stream, bool run_baseline,
+                            bool event_digests);
+
+// Folds completed market records (slot m holds market m's record iff its
+// .market == m; untouched slots keep the default -1) in market-index order —
+// never completion order — into `merged`'s totals, session/time aggregates,
+// and per-market + combined digests. Shared by both engines so the reduction
+// is one piece of code: the exactly-once proof compares digests produced by
+// this exact fold. Consumes the records (metric payloads are moved out).
+void FoldMarketRecords(std::vector<MarketRecord>& records, bool run_baseline,
+                       bool event_digests, ShardedComparison* merged);
 
 }  // namespace pad
 

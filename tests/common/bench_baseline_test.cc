@@ -85,19 +85,19 @@ TEST(BenchBaselineTest, DriftBeyondToleranceFails) {
 TEST(BenchBaselineTest, MissingMetricFailsExtraDoesNot) {
   std::vector<BenchRow> candidate = SampleRows();
   candidate.erase(candidate.begin());  // users_per_s vanished from the run.
-  candidate.push_back({"population_scale", "peak_rss_mib", 300.0, "MiB", "users=2000"});
+  candidate.push_back({"population_scale", "max_rss_mib", 300.0, "MiB", "users=2000"});
 
   const std::vector<BenchDiff> diffs =
       CompareBenchRows(SampleRows(), candidate, BenchCompareOptions{});
   ASSERT_EQ(4u, diffs.size());
   EXPECT_EQ(BenchDiffStatus::kMissing, diffs[0].status);
   EXPECT_EQ(BenchDiffStatus::kExtra, diffs[3].status);
-  EXPECT_EQ("peak_rss_mib", diffs[3].metric);
+  EXPECT_EQ("max_rss_mib", diffs[3].metric);
   EXPECT_TRUE(BenchCompareFailed(diffs));
 
   // Extra alone is informational.
   std::vector<BenchRow> extra_only = SampleRows();
-  extra_only.push_back({"population_scale", "peak_rss_mib", 300.0, "MiB", "users=2000"});
+  extra_only.push_back({"population_scale", "max_rss_mib", 300.0, "MiB", "users=2000"});
   EXPECT_FALSE(
       BenchCompareFailed(CompareBenchRows(SampleRows(), extra_only, BenchCompareOptions{})));
 }

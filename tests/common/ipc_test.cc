@@ -1,0 +1,231 @@
+// The coordinator<->worker framing layer (src/common/ipc.h): packers and
+// strict parser round-trip bit-exactly, frames survive arbitrary kernel
+// chunking, and hostile inputs (oversized lengths, trailing garbage, a dead
+// peer) surface as Status — never an abort, never a desync.
+#include "src/common/ipc.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pad {
+namespace {
+
+TEST(IpcPackingTest, RoundTripsEveryFieldType) {
+  std::string payload;
+  IpcPutU32(&payload, 0xdeadbeefu);
+  IpcPutU64(&payload, 0x0123456789abcdefull);
+  IpcPutI64(&payload, -42);
+  IpcPutF64(&payload, 3.5);
+  IpcPutF64(&payload, -0.0);
+  IpcPutString(&payload, "diag\0nostic");  // Truncates at NUL via string_view ctor.
+  IpcPutString(&payload, "");
+
+  IpcParser parser(payload);
+  EXPECT_EQ(0xdeadbeefu, parser.GetU32());
+  EXPECT_EQ(0x0123456789abcdefull, parser.GetU64());
+  EXPECT_EQ(-42, parser.GetI64());
+  EXPECT_EQ(3.5, parser.GetF64());
+  const double negative_zero = parser.GetF64();
+  EXPECT_EQ(0.0, negative_zero);
+  EXPECT_TRUE(std::signbit(negative_zero)) << "doubles must round-trip bit-exactly";
+  EXPECT_EQ("diag", parser.GetString());
+  EXPECT_EQ("", parser.GetString());
+  EXPECT_TRUE(parser.Finished());
+}
+
+TEST(IpcPackingTest, ShortPayloadFailsInsteadOfReadingGarbage) {
+  std::string payload;
+  IpcPutU32(&payload, 7);
+  IpcParser parser(payload);
+  EXPECT_EQ(7u, parser.GetU32());
+  EXPECT_EQ(0u, parser.GetU64());  // Out of bounds: zero, and ok() flips.
+  EXPECT_FALSE(parser.ok());
+  EXPECT_FALSE(parser.Finished());
+}
+
+TEST(IpcPackingTest, TrailingGarbageIsNotFinished) {
+  std::string payload;
+  IpcPutU32(&payload, 7);
+  payload.push_back('x');
+  IpcParser parser(payload);
+  EXPECT_EQ(7u, parser.GetU32());
+  EXPECT_TRUE(parser.ok());
+  EXPECT_FALSE(parser.Finished()) << "undrained bytes mean a layout mismatch";
+}
+
+TEST(IpcPackingTest, StringLengthBeyondPayloadFails) {
+  std::string payload;
+  IpcPutU32(&payload, 1000);  // Claims 1000 bytes; none follow.
+  IpcParser parser(payload);
+  EXPECT_EQ("", parser.GetString());
+  EXPECT_FALSE(parser.ok());
+}
+
+TEST(IpcFrameTest, SendRecvRoundTripsOverSocketpair) {
+  StatusOr<IpcSocketPair> pair = CreateIpcSocketPair();
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  std::string payload;
+  IpcPutU32(&payload, 3);
+  IpcPutU64(&payload, 0xfeedfacecafef00dull);
+  ASSERT_TRUE(SendIpcFrame(pair->coordinator_fd, 7, payload).ok());
+
+  StatusOr<IpcMessage> message = RecvIpcFrame(pair->worker_fd);
+  ASSERT_TRUE(message.ok()) << message.status().ToString();
+  EXPECT_EQ(7, message->type);
+  EXPECT_EQ(payload, message->payload);
+
+  // Empty payload is legal (frame length 1: just the type byte).
+  ASSERT_TRUE(SendIpcFrame(pair->worker_fd, 9, "").ok());
+  message = RecvIpcFrame(pair->coordinator_fd);
+  ASSERT_TRUE(message.ok());
+  EXPECT_EQ(9, message->type);
+  EXPECT_TRUE(message->payload.empty());
+
+  close(pair->coordinator_fd);
+  close(pair->worker_fd);
+}
+
+TEST(IpcFrameTest, PeerCloseIsUnavailableNotSignal) {
+  StatusOr<IpcSocketPair> pair = CreateIpcSocketPair();
+  ASSERT_TRUE(pair.ok());
+  close(pair->coordinator_fd);
+
+  // Read side: EOF at a frame boundary.
+  StatusOr<IpcMessage> message = RecvIpcFrame(pair->worker_fd);
+  ASSERT_FALSE(message.ok());
+  EXPECT_EQ(StatusCode::kUnavailable, message.status().code());
+
+  // Write side: the peer is gone; MSG_NOSIGNAL means we get a Status, not
+  // SIGPIPE terminating the test binary.
+  const Status status = SendIpcFrame(pair->worker_fd, 1, "x");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(StatusCode::kUnavailable, status.code());
+  close(pair->worker_fd);
+}
+
+TEST(IpcFrameTest, OversizedLengthIsDataLoss) {
+  StatusOr<IpcSocketPair> pair = CreateIpcSocketPair();
+  ASSERT_TRUE(pair.ok());
+  // Hand-build a frame whose length word claims far more than max_payload.
+  std::string hostile;
+  IpcPutU32(&hostile, std::numeric_limits<uint32_t>::max());
+  ASSERT_EQ(4, write(pair->coordinator_fd, hostile.data(), hostile.size()));
+
+  StatusOr<IpcMessage> message = RecvIpcFrame(pair->worker_fd);
+  ASSERT_FALSE(message.ok());
+  EXPECT_EQ(StatusCode::kDataLoss, message.status().code());
+  close(pair->coordinator_fd);
+  close(pair->worker_fd);
+
+  // A declared length of zero (no type byte) is equally malformed.
+  pair = CreateIpcSocketPair();
+  ASSERT_TRUE(pair.ok());
+  std::string zero;
+  IpcPutU32(&zero, 0);
+  ASSERT_EQ(4, write(pair->coordinator_fd, zero.data(), zero.size()));
+  message = RecvIpcFrame(pair->worker_fd);
+  ASSERT_FALSE(message.ok());
+  EXPECT_EQ(StatusCode::kDataLoss, message.status().code());
+  close(pair->coordinator_fd);
+  close(pair->worker_fd);
+}
+
+TEST(IpcChannelReaderTest, ReassemblesFramesAcrossArbitraryChunking) {
+  StatusOr<IpcSocketPair> pair = CreateIpcSocketPair();
+  ASSERT_TRUE(pair.ok());
+  ASSERT_TRUE(SetNonBlocking(pair->coordinator_fd).ok());
+
+  // Three frames in one buffer, dribbled into the socket one byte at a time:
+  // the reader must never yield a partial or merged message.
+  std::string wire;
+  for (uint8_t type = 1; type <= 3; ++type) {
+    std::string payload;
+    IpcPutU32(&payload, type * 100u);
+    std::string frame;
+    IpcPutU32(&frame, static_cast<uint32_t>(1 + payload.size()));
+    frame.push_back(static_cast<char>(type));
+    frame.append(payload);
+    wire += frame;
+  }
+
+  IpcChannelReader reader;
+  std::vector<IpcMessage> received;
+  for (char byte : wire) {
+    ASSERT_EQ(1, write(pair->worker_fd, &byte, 1));
+    ASSERT_TRUE(reader.Pump(pair->coordinator_fd).ok());
+    while (true) {
+      IpcMessage message;
+      bool have = false;
+      ASSERT_TRUE(reader.Next(&message, &have).ok());
+      if (!have) {
+        break;
+      }
+      received.push_back(message);
+    }
+  }
+  ASSERT_EQ(3u, received.size());
+  for (uint8_t type = 1; type <= 3; ++type) {
+    EXPECT_EQ(type, received[type - 1].type);
+    IpcParser parser(received[type - 1].payload);
+    EXPECT_EQ(type * 100u, parser.GetU32());
+    EXPECT_TRUE(parser.Finished());
+  }
+  close(pair->coordinator_fd);
+  close(pair->worker_fd);
+}
+
+TEST(IpcChannelReaderTest, PumpReportsEofAndStillDrainsBufferedFrames) {
+  StatusOr<IpcSocketPair> pair = CreateIpcSocketPair();
+  ASSERT_TRUE(pair.ok());
+  ASSERT_TRUE(SetNonBlocking(pair->coordinator_fd).ok());
+  // A completed market's DONE must survive its sender's death: write a
+  // frame, close the peer, and expect EOF from Pump with the frame intact.
+  ASSERT_TRUE(SendIpcFrame(pair->worker_fd, 3, "zz").ok());
+  close(pair->worker_fd);
+
+  // A short read drains the buffered frame and returns OK; EOF surfaces on
+  // the NEXT pump — exactly the coordinator's drain-then-reap ordering.
+  IpcChannelReader reader;
+  ASSERT_TRUE(reader.Pump(pair->coordinator_fd).ok());
+  const Status eof = reader.Pump(pair->coordinator_fd);
+  EXPECT_FALSE(eof.ok());
+  EXPECT_EQ(StatusCode::kUnavailable, eof.code());
+  IpcMessage message;
+  bool have = false;
+  ASSERT_TRUE(reader.Next(&message, &have).ok());
+  ASSERT_TRUE(have);
+  EXPECT_EQ(3, message.type);
+  EXPECT_EQ("zz", message.payload);
+  close(pair->coordinator_fd);
+}
+
+TEST(IpcChannelReaderTest, OversizedLengthPoisonsPermanently) {
+  IpcChannelReader reader(16);
+  StatusOr<IpcSocketPair> pair = CreateIpcSocketPair();
+  ASSERT_TRUE(pair.ok());
+  ASSERT_TRUE(SetNonBlocking(pair->coordinator_fd).ok());
+  std::string hostile;
+  IpcPutU32(&hostile, 1u << 30);
+  ASSERT_EQ(4, write(pair->worker_fd, hostile.data(), hostile.size()));
+  ASSERT_TRUE(reader.Pump(pair->coordinator_fd).ok());
+
+  IpcMessage message;
+  bool have = false;
+  Status status = reader.Next(&message, &have);
+  EXPECT_EQ(StatusCode::kDataLoss, status.code());
+  // Sticky: there is no resynchronizing inside a length-prefixed stream.
+  status = reader.Next(&message, &have);
+  EXPECT_EQ(StatusCode::kDataLoss, status.code());
+  EXPECT_EQ(StatusCode::kDataLoss, reader.Pump(pair->coordinator_fd).code());
+  close(pair->coordinator_fd);
+  close(pair->worker_fd);
+}
+
+}  // namespace
+}  // namespace pad

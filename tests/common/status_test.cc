@@ -28,7 +28,7 @@ TEST(StatusTest, ExitCodesAreDistinctPerFailureClass) {
   const std::vector<Status> failures = {
       Status::InvalidArgument("a"), Status::NotFound("b"),
       Status::FailedPrecondition("c"), Status::DataLoss("d"),
-      Status::Internal("e")};
+      Status::Internal("e"), Status::Aborted("f")};
   std::set<int> codes;
   for (const Status& status : failures) {
     const int code = ExitCodeFor(status);
@@ -39,6 +39,10 @@ TEST(StatusTest, ExitCodesAreDistinctPerFailureClass) {
   EXPECT_EQ(0, ExitCodeFor(Status::Ok()));
   // Unavailable shares the I/O exit class with NotFound by design.
   EXPECT_EQ(ExitCodeFor(Status::NotFound("x")), ExitCodeFor(Status::Unavailable("y")));
+  // Aborted ("a worker process died; rerun to resume") has its own scriptable
+  // exit class, pinned: supervisors key retry-with-resume off the 6.
+  EXPECT_EQ(6, ExitCodeFor(Status::Aborted("worker died")));
+  EXPECT_EQ("aborted", std::string(StatusCodeName(StatusCode::kAborted)));
 }
 
 TEST(StatusOrTest, HoldsValueWhenOk) {

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <random>
 #include <sstream>
@@ -343,6 +344,74 @@ TEST(CheckpointTest, DuplicateOrOutOfRangeMarketsAreCutNotMerged) {
   ASSERT_TRUE(range.ok());
   EXPECT_EQ(0u, range->markets.size());
   EXPECT_TRUE(range->truncated());
+}
+
+TEST(OpenOrResumeJournalTest, FreshResumeAndRefusalPaths) {
+  const std::string path = TempPath("ckpt_open_resume.ckpt");
+  std::remove(path.c_str());
+  const CheckpointHeader header = TestHeader(3);
+
+  // Fresh: no file yet — a writer with an empty record set, file created.
+  {
+    StatusOr<ResumedJournal> fresh = OpenOrResumeJournal(path, header, /*fsync_each=*/true);
+    ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+    EXPECT_TRUE(fresh->records.empty());
+    ASSERT_NE(nullptr, fresh->writer);
+    ASSERT_TRUE(fresh->writer->Append(TestRecord(0)).ok());
+  }
+
+  // Resume: the surviving record comes back and appends continue after it.
+  {
+    StatusOr<ResumedJournal> resumed = OpenOrResumeJournal(path, header, true);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+    ASSERT_EQ(1u, resumed->records.size());
+    EXPECT_EQ(0, resumed->records[0].market);
+    EXPECT_EQ(TestRecord(0).pad_digest, resumed->records[0].pad_digest);
+    ASSERT_TRUE(resumed->writer->Append(TestRecord(1)).ok());
+  }
+  const StatusOr<CheckpointContents> contents = ReadCheckpoint(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(2u, contents->markets.size());
+
+  // Resume with a torn tail: the tail is dropped, intact records survive.
+  const std::string bytes = ReadFileBytes(path);
+  WriteFileBytes(path, bytes + "torn");
+  {
+    StatusOr<ResumedJournal> healed = OpenOrResumeJournal(path, header, true);
+    ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+    EXPECT_EQ(2u, healed->records.size());
+  }
+
+  // A different experiment's header: refused, file untouched.
+  CheckpointHeader other = header;
+  other.config_fingerprint ^= 1;
+  StatusOr<ResumedJournal> stale = OpenOrResumeJournal(path, other, true);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(StatusCode::kFailedPrecondition, stale.status().code());
+
+  // Mismatched engine result flags are a distinct refusal.
+  CheckpointHeader flags = header;
+  flags.event_digests = !flags.event_digests;
+  StatusOr<ResumedJournal> flag_mismatch = OpenOrResumeJournal(path, flags, true);
+  ASSERT_FALSE(flag_mismatch.ok());
+  EXPECT_EQ(StatusCode::kFailedPrecondition, flag_mismatch.status().code());
+
+  // A foreign file at the path: the non-NotFound read error propagates; the
+  // file is never clobbered by a "fresh" create.
+  const std::string foreign = TempPath("ckpt_open_foreign.csv");
+  WriteFileBytes(foreign, "label,users\nrun,100\n");
+  StatusOr<ResumedJournal> refused = OpenOrResumeJournal(foreign, header, true);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(StatusCode::kInvalidArgument, refused.status().code());
+  EXPECT_EQ("label,users\nrun,100\n", ReadFileBytes(foreign));
+}
+
+TEST(FsyncParentDirTest, SyncsRealDirsAndReportsMissingOnes) {
+  EXPECT_TRUE(FsyncParentDir(TempPath("any_name.ckpt")).ok());
+  EXPECT_TRUE(FsyncParentDir("bare_filename_no_slash").ok());  // "." parent.
+  const Status missing = FsyncParentDir("/nonexistent_dir_xyz/file.ckpt");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(StatusCode::kUnavailable, missing.code());
 }
 
 TEST(CheckpointTest, UnsupportedSchemaVersionIsARefusalNotACrash) {

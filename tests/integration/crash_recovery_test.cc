@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/core/checkpoint.h"
+#include "src/core/multiproc_engine.h"
 #include "src/core/shard_engine.h"
 #include "src/core/sweep.h"
 
@@ -422,6 +423,165 @@ TEST(CrashRecoveryTest, WatchdogReportsLongMarkets) {
     EXPECT_GE(market, 0);
     EXPECT_LT(market, run.num_markets);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-process death cases (src/core/multiproc_engine.h): a SIGKILLed
+// WORKER — as opposed to the whole run, above — costs at most the market it
+// held. The journals carry everything it finished, the coordinator requeues
+// the rest, and the merged result is still byte-identical to the golden.
+
+MultiprocEngineOptions MultiprocOptions(int processes, const std::string& path) {
+  MultiprocEngineOptions options;
+  options.processes = processes;
+  options.engine = BaseOptions();
+  options.engine.checkpoint_path = path;
+  return options;
+}
+
+ShardedComparison MustRunMultiproc(const PadConfig& config,
+                                   const MultiprocEngineOptions& options) {
+  StatusOr<ShardedComparison> result = RunMultiprocSharded(config, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *std::move(result);
+}
+
+TEST(CrashRecoveryTest, MultiprocWorkerSigkillMidRunMatchesGolden) {
+  const PadConfig config = TestConfig();
+  const ShardedComparison golden = MustRun(config, BaseOptions());
+
+  for (const int kill_delay_ms : {5, 30}) {
+    SCOPED_TRACE("kill worker 0 after " + std::to_string(kill_delay_ms) + " ms");
+    const std::string path = TempPath("mp_kill_" + std::to_string(kill_delay_ms) + "_" +
+                                      std::to_string(getpid()) + ".ckpt");
+    std::remove(path.c_str());
+
+    // Aim a SIGKILL at worker 0 mid-market. The killer thread starts only
+    // once the LAST worker is forked, so every fork still happens from a
+    // single-threaded coordinator; by then worker 0 is deep in simulation.
+    MultiprocEngineOptions options = MultiprocOptions(2, path);
+    pid_t victim = -1;
+    std::thread killer;
+    options.on_worker_spawn = [&](int worker, pid_t pid) {
+      if (worker == 0) {
+        victim = pid;
+      }
+      if (worker == 1) {
+        const pid_t target = victim;
+        killer = std::thread([target, kill_delay_ms] {
+          std::this_thread::sleep_for(std::chrono::milliseconds(kill_delay_ms));
+          kill(target, SIGKILL);
+        });
+      }
+    };
+    const ShardedComparison run = MustRunMultiproc(config, options);
+    if (killer.joinable()) {
+      killer.join();
+    }
+    ExpectSameResult(golden, run);
+    EXPECT_GE(run.workers_died, 1);
+    EXPECT_EQ(2, run.worker_processes);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CrashRecoveryTest, MultiprocWorkerKilledAtSpawnIsAbsorbed) {
+  const PadConfig config = TestConfig();
+  const ShardedComparison golden = MustRun(config, BaseOptions());
+  const std::string path = TempPath("mp_spawnkill_" + std::to_string(getpid()) + ".ckpt");
+  std::remove(path.c_str());
+
+  // Kill worker 0 straight out of fork — likely before its HELLO, possibly
+  // before its journal header. The survivor simulates everything.
+  MultiprocEngineOptions options = MultiprocOptions(2, path);
+  options.on_worker_spawn = [](int worker, pid_t pid) {
+    if (worker == 0) {
+      kill(pid, SIGKILL);
+    }
+  };
+  const ShardedComparison run = MustRunMultiproc(config, options);
+  ExpectSameResult(golden, run);
+  EXPECT_EQ(1, run.workers_died);
+  EXPECT_FALSE(std::ifstream(WorkerJournalPath(path, 0)).good())
+      << "dead worker's journal must be consolidated and unlinked";
+  std::remove(path.c_str());
+}
+
+TEST(CrashRecoveryTest, AllWorkersDeadAbortsThenResumes) {
+  const PadConfig config = TestConfig();
+  const ShardedComparison golden = MustRun(config, BaseOptions());
+
+  // Build a half-finished main journal (header + markets 0 and 1) so the
+  // abort below provably preserves prior progress.
+  const std::string full_path = TempPath("mp_abort_full_" + std::to_string(getpid()) + ".ckpt");
+  std::remove(full_path.c_str());
+  ShardEngineOptions writer_options = BaseOptions();
+  writer_options.checkpoint_path = full_path;
+  MustRun(config, writer_options);
+  const std::string bytes = ReadFileBytes(full_path);
+  const std::vector<size_t> frames = FrameBoundaries(bytes);
+  ASSERT_EQ(6u, frames.size());
+  const std::string path = TempPath("mp_abort_" + std::to_string(getpid()) + ".ckpt");
+  WriteFileBytes(path, bytes.substr(0, frames[3]));
+
+  // The run's ONLY worker dies at spawn: nothing new simulates, markets 2
+  // and 3 stay pending, and the engine reports Aborted — the scriptable
+  // "worker died, rerun to resume" exit class — rather than tearing down
+  // the journal or fabricating a result.
+  MultiprocEngineOptions options = MultiprocOptions(1, path);
+  options.on_worker_spawn = [](int /*worker*/, pid_t pid) { kill(pid, SIGKILL); };
+  StatusOr<ShardedComparison> aborted = RunMultiprocSharded(config, options);
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_EQ(StatusCode::kAborted, aborted.status().code());
+  EXPECT_EQ(6, ExitCodeFor(aborted.status()));
+
+  // "Rerun the same command to resume": the same multiproc invocation,
+  // minus the kill, picks up the two journaled markets and finishes.
+  MultiprocEngineOptions retry = MultiprocOptions(1, path);
+  const ShardedComparison finished = MustRunMultiproc(config, retry);
+  EXPECT_EQ(2, finished.resumed_markets);
+  ExpectSameResult(golden, finished);
+
+  // And so does the single-process engine, off the same journal.
+  WriteFileBytes(path, bytes.substr(0, frames[3]));
+  ShardEngineOptions single = BaseOptions();
+  single.checkpoint_path = path;
+  const ShardedComparison cross = MustRun(config, single);
+  EXPECT_EQ(2, cross.resumed_markets);
+  ExpectSameResult(golden, cross);
+  std::remove(path.c_str());
+  std::remove(full_path.c_str());
+}
+
+TEST(CrashRecoveryTest, StaleWorkerJournalIsRefusedNotMerged) {
+  const PadConfig config = TestConfig();
+  const std::string donor = TempPath("mp_stale_donor_" + std::to_string(getpid()) + ".ckpt");
+  std::remove(donor.c_str());
+  ShardEngineOptions donor_options = BaseOptions();
+  donor_options.checkpoint_path = donor;
+  MustRun(config, donor_options);
+  const std::string donor_bytes = ReadFileBytes(donor);
+
+  // A leftover worker journal from a DIFFERENT experiment (here: another
+  // seed) parked at this run's `.w0` name: startup consolidation must refuse
+  // with the stale-fingerprint error, before any fork, and must not delete
+  // or merge the file.
+  PadConfig reseeded = config;
+  reseeded.seed += 1;
+  const std::string path = TempPath("mp_stale_" + std::to_string(getpid()) + ".ckpt");
+  std::remove(path.c_str());
+  WriteFileBytes(WorkerJournalPath(path, 0), donor_bytes);
+
+  StatusOr<ShardedComparison> refused =
+      RunMultiprocSharded(reseeded, MultiprocOptions(2, path));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(StatusCode::kFailedPrecondition, refused.status().code());
+  EXPECT_EQ(donor_bytes, ReadFileBytes(WorkerJournalPath(path, 0)))
+      << "a refused stale journal must be left byte-intact for inspection";
+
+  std::remove(WorkerJournalPath(path, 0).c_str());
+  std::remove(path.c_str());
+  std::remove(donor.c_str());
 }
 
 }  // namespace

@@ -36,6 +36,17 @@
 //                                           (execution-only; 0 = hw; the
 //                                           engine runs max(shards, threads)
 //                                           workers)
+//   processes=N                             fork N worker processes and hand
+//                                           markets out over pipes; requires
+//                                           checkpoint= (worker journals are
+//                                           the result transport). Execution-
+//                                           only: results byte-identical to
+//                                           any in-process run, including
+//                                           when workers are killed mid-run
+//   stall_kill_s=S                          multi-process only: SIGKILL and
+//                                           reassign a worker stuck in one
+//                                           market longer than S seconds
+//                                           (0 = disabled)
 //   schedule=stealing|static                market hand-off policy between
 //                                           workers (execution-only; default
 //                                           stealing; static kept for A/B)
@@ -60,7 +71,9 @@
 //
 // Exit codes: 0 ok, 1 invalid argument/config, 2 missing or unwritable file,
 // 3 stale checkpoint (fingerprint mismatch), 4 corrupt data, 5 internal,
-// 130 interrupted by signal (journal flushed; rerun to resume).
+// 6 every worker process died before the run completed (completed markets
+// are journaled; rerun the same command to resume), 130 interrupted by
+// signal (journal flushed; rerun to resume).
 #include <atomic>
 #include <csignal>
 #include <fstream>
@@ -74,6 +87,7 @@
 #include "src/common/status.h"
 #include "src/common/table.h"
 #include "src/common/thread_pool.h"
+#include "src/core/multiproc_engine.h"
 #include "src/core/pad_simulation.h"
 #include "src/core/shard_engine.h"
 #include "src/core/sweep.h"
@@ -237,7 +251,11 @@ int RunTool(const Options& options) {
   const std::string sweep_users = options.GetString("sweep_users", "");
   const bool use_shard_engine = options.Has("shards") || options.Has("max_resident_users") ||
                                 options.Has("checkpoint") || options.Has("schedule") ||
-                                config.market_users > 0;
+                                options.Has("processes") || config.market_users > 0;
+  const bool multiproc = options.Has("processes");
+  MultiprocEngineOptions multiproc_options;
+  multiproc_options.processes = options.GetInt("processes", 1);
+  multiproc_options.stall_kill_s = options.GetDouble("stall_kill_s", 0.0);
   ShardEngineOptions shard_options;
   shard_options.shards = options.GetInt("shards", 1);
   shard_options.threads = threads;
@@ -305,7 +323,15 @@ int RunTool(const Options& options) {
       return 1;
     }
     shard_options.run_baseline = mode == "compare";
-    if (const std::string err = ValidateShardOptions(config, shard_options); !err.empty()) {
+    if (multiproc) {
+      multiproc_options.engine = shard_options;
+      if (const std::string err = ValidateMultiprocOptions(config, multiproc_options);
+          !err.empty()) {
+        std::cerr << "adpad_sim: invalid shard options: " << err << "\n";
+        return 1;
+      }
+    } else if (const std::string err = ValidateShardOptions(config, shard_options);
+               !err.empty()) {
       std::cerr << "adpad_sim: invalid shard options: " << err << "\n";
       return 1;
     }
@@ -318,11 +344,21 @@ int RunTool(const Options& options) {
               << " users, market_users=" << config.market_users
               << ", shards=" << shard_options.shards << ", threads=" << threads
               << ", max_resident_users=" << shard_options.max_resident_users;
+    if (multiproc) {
+      std::cout << ", processes=" << multiproc_options.processes;
+    }
     if (!shard_options.checkpoint_path.empty()) {
       std::cout << ", checkpoint=" << shard_options.checkpoint_path;
     }
     std::cout << "\n";
-    StatusOr<ShardedComparison> sharded_or = RunShardedResumable(config, shard_options);
+    StatusOr<ShardedComparison> sharded_or = Status::Internal("engine not run");
+    if (multiproc) {
+      // The coordinator forks; this must stay ahead of any thread creation.
+      multiproc_options.engine = shard_options;
+      sharded_or = RunMultiprocSharded(config, multiproc_options);
+    } else {
+      sharded_or = RunShardedResumable(config, shard_options);
+    }
     if (!sharded_or.ok()) {
       std::cerr << "adpad_sim: " << sharded_or.status().ToString() << "\n";
       return ExitCodeFor(sharded_or.status());
@@ -331,6 +367,12 @@ int RunTool(const Options& options) {
     if (sharded.resumed_markets > 0) {
       std::cout << "resumed " << sharded.resumed_markets << "/" << sharded.num_markets
                 << " markets from " << shard_options.checkpoint_path << "\n";
+    }
+    if (sharded.workers_died > 0) {
+      std::cerr << "adpad_sim: " << sharded.workers_died << " worker process(es) died; "
+                << sharded.markets_reassigned
+                << " market(s) reassigned (results unaffected: journals are the source of "
+                   "truth)\n";
     }
     std::cout << "markets=" << sharded.num_markets
               << " sessions=" << sharded.total_sessions
