@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "src/common/sockio.h"
+
 namespace pad {
 namespace {
 
@@ -132,61 +134,23 @@ Status SendIpcFrame(int fd, uint8_t type, std::string_view payload) {
   frame.push_back(static_cast<char>(type));
   frame.append(payload);
 
-  size_t written = 0;
-  while (written < frame.size()) {
-    // MSG_NOSIGNAL: a peer that died mid-run must surface as a Status the
-    // coordinator's reap path can handle, never a SIGPIPE.
-    const ssize_t n =
-        ::send(fd, frame.data() + written, frame.size() - written, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      if (errno == EPIPE || errno == ECONNRESET) {
-        return Status::Unavailable("peer closed");
-      }
-      return ErrnoStatus("ipc send");
-    }
-    written += static_cast<size_t>(n);
-  }
-  return Status::Ok();
+  // SendAll (src/common/sockio.h) retries EINTR and short writes and turns a
+  // dead peer into a Status the coordinator's reap path can handle, never a
+  // SIGPIPE.
+  return SendAll(fd, frame.data(), frame.size());
 }
-
-namespace {
-
-// Blocking read of exactly `count` bytes. kUnavailable("peer closed") on EOF
-// at a frame boundary is distinguished by the caller via bytes_read.
-Status ReadExactly(int fd, char* out, size_t count, size_t* bytes_read) {
-  *bytes_read = 0;
-  while (*bytes_read < count) {
-    const ssize_t n = ::read(fd, out + *bytes_read, count - *bytes_read);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return ErrnoStatus("ipc read");
-    }
-    if (n == 0) {
-      return Status::Unavailable("peer closed");
-    }
-    *bytes_read += static_cast<size_t>(n);
-  }
-  return Status::Ok();
-}
-
-}  // namespace
 
 StatusOr<IpcMessage> RecvIpcFrame(int fd, uint32_t max_payload) {
   char header[kFrameHeaderBytes];
   size_t got = 0;
-  PAD_RETURN_IF_ERROR(ReadExactly(fd, header, sizeof(header), &got));
+  PAD_RETURN_IF_ERROR(ReadFully(fd, header, sizeof(header), &got));
   const uint32_t length = ReadU32Le(header);
   if (length == 0 || length > max_payload) {
     return Status::DataLoss("ipc frame length " + std::to_string(length) +
                             " outside (0, " + std::to_string(max_payload) + "]");
   }
   std::string body(length, '\0');
-  PAD_RETURN_IF_ERROR(ReadExactly(fd, body.data(), body.size(), &got));
+  PAD_RETURN_IF_ERROR(ReadFully(fd, body.data(), body.size(), &got));
   IpcMessage message;
   message.type = static_cast<uint8_t>(body[0]);
   message.payload = body.substr(1);
@@ -197,11 +161,8 @@ Status IpcChannelReader::Pump(int fd) {
   PAD_RETURN_IF_ERROR(poison_);
   char chunk[4096];
   while (true) {
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    const ssize_t n = ReadSome(fd, chunk, sizeof(chunk));
     if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         return Status::Ok();
       }

@@ -1,0 +1,66 @@
+#include "src/common/sockio.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pad {
+
+ssize_t SendSome(int fd, const void* data, size_t len) {
+  while (true) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return n;
+  }
+}
+
+ssize_t ReadSome(int fd, void* data, size_t len) {
+  while (true) {
+    const ssize_t n = ::read(fd, data, len);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return n;
+  }
+}
+
+Status SendAll(int fd, const void* data, size_t len) {
+  const char* bytes = static_cast<const char*>(data);
+  size_t written = 0;
+  while (written < len) {
+    const ssize_t n = SendSome(fd, bytes + written, len - written);
+    if (n < 0) {
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::Unavailable("peer closed");
+      }
+      return Status::Unavailable(std::string("send: ") + std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status ReadFully(int fd, void* data, size_t len, size_t* bytes_read) {
+  char* bytes = static_cast<char*>(data);
+  *bytes_read = 0;
+  while (*bytes_read < len) {
+    const ssize_t n = ReadSome(fd, bytes + *bytes_read, len - *bytes_read);
+    if (n < 0) {
+      if (errno == ECONNRESET) {
+        return Status::Unavailable("peer closed");
+      }
+      return Status::Unavailable(std::string("read: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::Unavailable("peer closed");
+    }
+    *bytes_read += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace pad

@@ -7,31 +7,32 @@
 namespace pad {
 namespace {
 
-// SplitMix64 finalizer (Steele et al.); also the seeding mix used by Rng, so
-// fault draws are well-decorrelated from the simulation's RNG streams even
-// when both start from config.seed.
-uint64_t Mix64(uint64_t z) {
+constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ull;
+
+}  // namespace
+
+uint64_t DetMix64(uint64_t z) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
   return z ^ (z >> 31);
 }
 
-constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ull;
-
-}  // namespace
+double DetHashUniform(uint64_t seed, uint64_t channel, int64_t a, int64_t b) {
+  uint64_t state = seed + kGolden * channel;
+  state = DetMix64(state + kGolden * static_cast<uint64_t>(a));
+  state = DetMix64(state + kGolden * static_cast<uint64_t>(b));
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(state >> 11) * 0x1.0p-53;
+}
 
 FaultPlan::FaultPlan(const FaultConfig& config, uint64_t seed)
     : config_(config),
       // Domain-separate from every other consumer of config.seed.
-      seed_(Mix64(seed ^ 0xfa017571a57a11ull)),
+      seed_(DetMix64(seed ^ 0xfa017571a57a11ull)),
       enabled_(config.AnyEnabled()) {}
 
 double FaultPlan::Draw(Channel channel, int64_t client_id, int64_t index) const {
-  uint64_t state = seed_ + kGolden * static_cast<uint64_t>(channel);
-  state = Mix64(state + kGolden * static_cast<uint64_t>(client_id));
-  state = Mix64(state + kGolden * static_cast<uint64_t>(index));
-  // 53 high bits -> uniform double in [0, 1).
-  return static_cast<double>(state >> 11) * 0x1.0p-53;
+  return DetHashUniform(seed_, static_cast<uint64_t>(channel), client_id, index);
 }
 
 ReportFate FaultPlan::ReportFateFor(int client_id, int64_t window) const {

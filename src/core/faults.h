@@ -39,6 +39,22 @@
 
 namespace pad {
 
+// Shared deterministic-hash primitives. FaultPlan (this file) and the
+// serving chaos layer (src/serve/chaos.h) must agree on the construction so
+// both inherit the same two properties: decisions are pure functions of
+// their coordinates (byte-identical at any thread count), and decision sets
+// *nest* across rates (an event that fires at rate r fires at every r' > r,
+// because the same uniform draw is compared against both).
+
+// SplitMix64 finalizer (Steele et al.); also the seeding mix used by Rng, so
+// hash-derived decisions are well-decorrelated from RNG streams even when
+// both start from the same seed.
+uint64_t DetMix64(uint64_t z);
+
+// Uniform [0, 1) draw, a pure function of (seed, channel, a, b). `channel`
+// domain-separates independent decision kinds sharing one seed.
+double DetHashUniform(uint64_t seed, uint64_t channel, int64_t a, int64_t b);
+
 // Fault knobs, part of PadConfig (config.faults). All rates are
 // probabilities in [0, 1]; everything defaults to "perfect network".
 struct FaultConfig {

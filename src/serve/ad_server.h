@@ -14,6 +14,29 @@
 // never touches the sessions already being served. The kernel accept queue
 // is additionally bounded by `accept_backlog`.
 //
+// Hostile-client hardening (all per connection, all off the event loop's
+// timer facility — no extra threads):
+//   * idle deadline — a connection that sends no byte for `idle_timeout_ms`
+//     with nothing owed to it is closed (idle_timeouts counter);
+//   * write-stall deadline + bounded output — responses buffer at most
+//     `max_out_bytes` / `max_inflight` frames before the server simply stops
+//     reading that connection (read backpressure, never unbounded memory);
+//     a client that also refuses to drain for `write_stall_ms` is *evicted*:
+//     the unsent tail is truncated at a frame boundary, one well-formed
+//     kOverloaded frame is appended, and the connection closes after a short
+//     flush grace (stall_evictions counter). The byte stream a victim sees
+//     is always a sequence of complete frames.
+//   * half-close (EPOLLRDHUP) — a peer that shutdown(SHUT_WR)s is drained:
+//     every buffered request is answered and flushed before the close, the
+//     FIN is never mistaken for an error (half_closed counter);
+//   * torn tails — a peer that dies mid-frame is a dirty disconnect
+//     (dirty_disconnects counter), never a decode of garbage.
+//
+// Chaos: when `chaos` rates are set, the server's own socket I/O is run
+// through a deterministic ChaosPlan (chaos.h) keyed by (chaos_seed,
+// connection id, frame index) — partial writes, dribbled reads, read
+// stalls, and mid-frame cuts on the serving side, for the chaos battery.
+//
 // Graceful drain: RequestDrain() (thread- and signal-safe; wired to
 // SIGTERM/SIGINT by tools/adpad_serve) stops accepting, answers every
 // request already buffered on live connections, flushes every pending
@@ -23,11 +46,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
 
 #include "src/common/status.h"
+#include "src/serve/chaos.h"
 #include "src/serve/event_loop.h"
 #include "src/serve/session_adapter.h"
 #include "src/serve/wire.h"
@@ -40,6 +65,21 @@ struct AdServerOptions {
   int accept_backlog = 64;
   int max_sessions = 256;
   size_t max_frame_payload = kMaxFramePayload;
+
+  // Hardening knobs. A deadline of 0 disables that deadline.
+  int64_t idle_timeout_ms = 0;   // Close a silent connection after this long.
+  int64_t write_stall_ms = 0;    // Evict a non-draining client after this long.
+  int max_inflight = 64;         // Buffered responses before read backpressure.
+  size_t max_out_bytes = 256 * 1024;  // Output watermark before backpressure.
+  // Per-connection SO_SNDBUF; 0 keeps the kernel default (which autotunes —
+  // on loopback to megabytes, so a slow client can hide behind kernel
+  // buffering indefinitely). Setting it bounds kernel memory per connection
+  // and makes the write-stall deadline mean what it says.
+  int so_sndbuf = 0;
+
+  // Server-side chaos injection (tests/benches; disabled by default).
+  ChaosConfig chaos;
+  uint64_t chaos_seed = 0;
 };
 
 struct AdServerStats {
@@ -47,6 +87,17 @@ struct AdServerStats {
   int64_t shed = 0;             // Connections answered kOverloaded and closed.
   int64_t served = 0;           // Decisions written.
   int64_t protocol_errors = 0;  // Connections dropped for malformed frames.
+  // Hardening counters.
+  int64_t idle_timeouts = 0;       // Closed for idle_timeout_ms of silence.
+  int64_t stall_evictions = 0;     // Shed-frame evicted for not draining.
+  int64_t backpressure_pauses = 0; // Reads paused for inflight/byte caps.
+  int64_t half_closed = 0;         // EPOLLRDHUP drains (shutdown(SHUT_WR)).
+  int64_t dirty_disconnects = 0;   // Peer vanished mid-frame (torn tail).
+  // Chaos injection counters (what the server's own plan actually fired).
+  int64_t chaos_partial_writes = 0;
+  int64_t chaos_dribbled_reads = 0;
+  int64_t chaos_stalls = 0;
+  int64_t chaos_cuts = 0;
 };
 
 class AdServer {
@@ -58,7 +109,7 @@ class AdServer {
   AdServer(const AdServer&) = delete;
   AdServer& operator=(const AdServer&) = delete;
 
-  // Binds and listens. After Ok, port() is the bound port.
+  // Validates options, binds and listens. After Ok, port() is the bound port.
   Status Start();
   uint16_t port() const { return port_; }
 
@@ -74,12 +125,38 @@ class AdServer {
  private:
   struct Connection {
     int fd = -1;
+    int64_t id = 0;  // Accept sequence number; the chaos coordinate.
     FrameReader reader;
     DecisionEngine::Session session;
-    std::string out;          // Encoded responses awaiting the socket.
-    size_t out_offset = 0;    // Prefix of `out` already written.
+
+    // Output: one contiguous buffer of whole response frames. `frame_ends`
+    // holds the end offset of every not-yet-fully-flushed frame, so eviction
+    // can truncate at a frame boundary and chaos can split mid-frame
+    // deterministically. `frame_base` is the start offset of the oldest
+    // unflushed frame (signed: compaction can move the origin past it).
+    std::string out;
+    size_t out_offset = 0;
+    std::deque<size_t> frame_ends;
+    int64_t frame_base = 0;
+    int64_t tx_flushed = 0;  // Response frames fully written (chaos tx index).
+    int64_t rx_frames = 0;   // Request frames decoded (chaos rx index).
+
+    // Chaos once-per-frame markers.
+    int64_t last_partial_tx = -1;
+    int64_t last_dribbled_rx = -1;
+    int64_t last_stalled_rx = -1;
+    bool chaos_stalled = false;
+
     bool close_after_flush = false;
-    uint32_t mask = 0;        // Current epoll interest set.
+    bool evicted = false;
+    bool bad_frames = false;  // Protocol error already reported.
+    bool rdhup_seen = false;
+    uint32_t mask = 0;  // Current epoll interest set.
+
+    uint64_t last_activity_ms = 0;        // Last byte read (idle deadline).
+    uint64_t last_write_progress_ms = 0;  // Last byte drained (stall deadline).
+    EventLoop::TimerId resume_timer = 0;  // Chaos read-stall resume.
+    EventLoop::TimerId grace_timer = 0;   // Eviction flush grace.
 
     explicit Connection(size_t max_frame_payload) : reader(max_frame_payload) {}
     size_t pending_out() const { return out.size() - out_offset; }
@@ -87,22 +164,43 @@ class AdServer {
 
   void HandleAccept();
   void HandleConnection(int fd, uint32_t events);
-  // Decodes and answers every complete frame buffered on the connection.
-  void ProcessFrames(Connection& connection);
-  // Writes pending output; adjusts EPOLLOUT interest; may close.
-  void FlushOutput(Connection& connection);
-  void Close(Connection& connection);
+  // Reads whatever the socket (and the chaos plan) will give. Returns false
+  // if the connection was destroyed.
+  bool ReadInput(Connection& connection);
+  // Decodes and answers buffered frames, honoring the inflight/byte caps
+  // unless `ignore_caps` (drain answers everything).
+  void ProcessFrames(Connection& connection, bool ignore_caps);
+  // Writes pending output (chaos-aware). Returns false if destroyed.
+  bool FlushOutput(Connection& connection);
+  // decode → flush → repeat while flushing freed cap room; sets interest.
+  void Advance(int fd);
+  bool Capped(const Connection& connection) const;
+  void UpdateInterest(Connection& connection);
+  void AppendResponse(Connection& connection, const WireResponse& response);
+
+  // Truncates unsent frames, appends the shed frame, closes after a short
+  // grace. The victim's byte stream stays a sequence of well-formed frames.
+  void Evict(Connection& connection);
+  // Closes an evicted connection once its drain stops making progress for a
+  // full grace period (re-arms itself while bytes still move).
+  void ArmGrace(Connection& connection);
+  void SweepDeadlines();
+  void ArmSweep();
+  // Immediate teardown. `rst` aborts with SO_LINGER(0) (chaos cut mode).
+  void CloseNow(Connection& connection, bool rst = false);
   // Runs once per dispatch round: applies a requested drain and finishes it
   // once every connection has flushed.
   void RoundHook();
 
   const DecisionEngine& engine_;
   AdServerOptions options_;
+  ChaosPlan chaos_;
   EventLoop loop_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::string shed_frame_;  // Pre-encoded kOverloaded response.
   std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+  int64_t next_connection_id_ = 0;
   std::atomic<bool> drain_requested_{false};
   bool draining_ = false;
   AdServerStats stats_;

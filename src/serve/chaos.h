@@ -1,0 +1,147 @@
+// Deterministic network chaos for the serving path.
+//
+// The serving front end's loopback rig only ever sees well-behaved peers:
+// whole frames per send, greedy reads, clean closes. The paper's clients
+// live on cellular links where none of that holds — writes land in pieces,
+// reads dribble, transfers stall, connections die mid-frame, and connects
+// fail outright. This module injects exactly those behaviours at the socket
+// boundary of both `ad_server` and `load_gen`, under the same determinism
+// contract as the simulation's fault layer (src/core/faults.h):
+//
+//   every chaos decision is a pure hash of (chaos_seed, connection_id,
+//   event_index) — no RNG stream is consumed, no wall clock is read — so a
+//   run's per-connection chaos schedule is byte-identical across repeats and
+//   thread counts, and decision sets nest across rates (an event injected at
+//   rate r is injected at every rate r' > r).
+//
+// Event indexing is *logical*, not syscall-level: decisions key on the frame
+// sequence number of the connection (or the connect-attempt number), because
+// frame counts are deterministic while syscall counts depend on how the
+// kernel coalesces bytes. That is what makes the serving-under-chaos bench's
+// accounting rows (retries, reconnects, injected-event counts, the decision
+// digest of answered requests) reproducible enough to check into a baseline.
+//
+// The five injected behaviours:
+//   * partial write — a frame send is split at a hash-chosen byte and the
+//     remainder deferred (server: parked for EPOLLOUT; client: a second
+//     send). The frame still arrives intact: this mode perturbs *how* bytes
+//     move, never *which* bytes, so decision digests are unchanged.
+//   * dribbled read — the receiver takes the frame one byte per read call.
+//     Outcome-preserving, exercises incremental frame reassembly.
+//   * read stall — the receiver goes deaf for stall_ms before taking the
+//     frame. Outcome-preserving unless a deadline (idle timeout, write-stall
+//     eviction, request timeout) fires — which is the point: stalls are how
+//     the tests drive the hardening paths deterministically.
+//   * mid-frame cut — the sender transmits a hash-chosen prefix of the frame
+//     and then closes (FIN, or RST when `cut_with_rst`). The peer must treat
+//     the torn frame as a dead connection, never as data.
+//   * connect failure — the client's connect attempt is failed before any
+//     bytes move (the SYN that never returns).
+#ifndef ADPAD_SRC_SERVE_CHAOS_H_
+#define ADPAD_SRC_SERVE_CHAOS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace pad {
+
+// Chaos knobs. All rates are probabilities in [0, 1] evaluated per logical
+// event; everything defaults to "perfect network".
+struct ChaosConfig {
+  // P(a frame send is split at a hash-chosen point and finished later).
+  double partial_write_rate = 0.0;
+  // P(a frame is read one byte per read call).
+  double dribble_read_rate = 0.0;
+  // P(the receiver stalls stall_ms before reading a frame).
+  double stall_rate = 0.0;
+  double stall_ms = 20.0;
+  // P(the sender cuts the connection after a prefix of a frame).
+  double cut_rate = 0.0;
+  // Cut with RST (SO_LINGER 0) instead of FIN: the peer sees ECONNRESET,
+  // not EOF. Both must be handled identically (torn frame = dead peer).
+  bool cut_with_rst = false;
+  // P(a client connect attempt fails before any bytes move).
+  double connect_failure_rate = 0.0;
+
+  // True when any chaos event can actually fire.
+  bool AnyEnabled() const {
+    return partial_write_rate > 0.0 || dribble_read_rate > 0.0 || stall_rate > 0.0 ||
+           cut_rate > 0.0 || connect_failure_rate > 0.0;
+  }
+
+  // The one-knob shape the E23 sweep uses: every behaviour at the same rate.
+  // Stalls are kept short so rate sweeps change outcomes (cuts, connect
+  // failures), wall time, and byte-motion shape — but never trip the
+  // generous client request timeout the bench runs with.
+  static ChaosConfig Uniform(double rate) {
+    ChaosConfig config;
+    config.partial_write_rate = rate;
+    config.dribble_read_rate = rate;
+    config.stall_rate = rate;
+    config.stall_ms = 1.0;
+    config.cut_rate = rate;
+    config.connect_failure_rate = rate;
+    return config;
+  }
+};
+
+// kInvalidArgument naming the defective knob, or Ok. Shared by both tools'
+// flag validation so `adpad_serve` and `adpad_load` reject identically.
+Status ValidateChaosConfig(const ChaosConfig& config);
+
+// Stateless chaos oracle, the FaultPlan of the socket layer. Copyable and
+// cheap; every decision is a pure function of (seed, connection, event), so
+// the server's plan and a test's reconstruction of it always agree.
+class ChaosPlan {
+ public:
+  // Disabled plan: never injects.
+  ChaosPlan() = default;
+  ChaosPlan(const ChaosConfig& config, uint64_t seed);
+
+  bool enabled() const { return enabled_; }
+  const ChaosConfig& config() const { return config_; }
+
+  // Whether connect attempt `attempt` of connection `connection_id` fails.
+  bool ConnectFails(int64_t connection_id, int64_t attempt) const;
+
+  // Whether outbound frame `frame_index` is written in two pieces.
+  bool PartialWrite(int64_t connection_id, int64_t frame_index) const;
+
+  // Whether inbound frame `frame_index` is read one byte at a time.
+  bool DribbleRead(int64_t connection_id, int64_t frame_index) const;
+
+  // Whether the receiver stalls config.stall_ms before inbound frame
+  // `frame_index`.
+  bool StallRead(int64_t connection_id, int64_t frame_index) const;
+
+  // Whether the connection is cut mid-way through outbound frame
+  // `frame_index`.
+  bool CutFrame(int64_t connection_id, int64_t frame_index) const;
+
+  // Where to split a `frame_bytes`-long frame for PartialWrite/CutFrame:
+  // a hash-chosen point in [1, frame_bytes - 1] (always a proper prefix,
+  // never empty, never complete). Requires frame_bytes >= 2.
+  size_t SplitPoint(int64_t connection_id, int64_t frame_index, size_t frame_bytes) const;
+
+ private:
+  enum class Channel : uint64_t {
+    kConnect = 1,
+    kPartialWrite = 2,
+    kDribbleRead = 3,
+    kStallRead = 4,
+    kCut = 5,
+    kSplit = 6,
+  };
+
+  double Draw(Channel channel, int64_t connection_id, int64_t index) const;
+
+  ChaosConfig config_{};
+  uint64_t seed_ = 0;
+  bool enabled_ = false;
+};
+
+}  // namespace pad
+
+#endif  // ADPAD_SRC_SERVE_CHAOS_H_

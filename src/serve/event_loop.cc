@@ -2,11 +2,14 @@
 
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <array>
 #include <cerrno>
 #include <cstring>
+#include <limits>
+#include <utility>
 
 namespace pad {
 
@@ -64,13 +67,61 @@ void EventLoop::Remove(int fd) {
   callbacks_.erase(fd);
 }
 
+uint64_t EventLoop::NowMs() {
+  timespec now{};
+  clock_gettime(CLOCK_MONOTONIC, &now);
+  return static_cast<uint64_t>(now.tv_sec) * 1000ull +
+         static_cast<uint64_t>(now.tv_nsec) / 1000000ull;
+}
+
+EventLoop::TimerId EventLoop::AddTimer(uint64_t delay_ms, std::function<void()> callback) {
+  const TimerId id = next_timer_id_++;
+  const uint64_t deadline = NowMs() + delay_ms;
+  timers_.emplace(id, Timer{deadline, std::move(callback)});
+  schedule_.emplace(deadline, id);
+  return id;
+}
+
+void EventLoop::CancelTimer(TimerId id) {
+  // Lazy deletion: the schedule entry stays and is skipped at fire time.
+  // Liveness is defined by timers_ alone, so a cancel always wins the race
+  // with a deadline that already passed.
+  timers_.erase(id);
+}
+
+int EventLoop::FireDueTimers() {
+  const uint64_t now = NowMs();
+  while (!schedule_.empty() && schedule_.begin()->first <= now) {
+    const auto [deadline, id] = *schedule_.begin();
+    schedule_.erase(schedule_.begin());
+    const auto it = timers_.find(id);
+    if (it == timers_.end()) {
+      continue;  // Cancelled (or already fired under a re-used schedule key).
+    }
+    // Detach before invoking: the callback may AddTimer (a fresh id) or
+    // CancelTimer anything, including ids firing later this round.
+    std::function<void()> callback = std::move(it->second.callback);
+    timers_.erase(it);
+    callback();
+  }
+  if (schedule_.empty()) {
+    return -1;
+  }
+  const uint64_t wait = schedule_.begin()->first - now;
+  constexpr uint64_t kMaxWait = static_cast<uint64_t>(std::numeric_limits<int>::max());
+  return static_cast<int>(wait < kMaxWait ? wait : kMaxWait);
+}
+
 void EventLoop::Run() {
   running_.store(true, std::memory_order_release);
   std::array<epoll_event, 64> events;
+  int timeout_ms = FireDueTimers();
   while (running_.load(std::memory_order_acquire)) {
-    const int n = epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()), -1);
+    const int n =
+        epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()), timeout_ms);
     if (n < 0) {
       if (errno == EINTR) {
+        timeout_ms = FireDueTimers();
         continue;
       }
       status_ = Status::Unavailable(std::string("epoll_wait: ") + std::strerror(errno));
@@ -86,9 +137,14 @@ void EventLoop::Run() {
       const std::shared_ptr<Callback> callback = it->second;
       (*callback)(events[static_cast<size_t>(i)].events);
     }
+    // Timers fire after the fds: a read that arrives in the same round as
+    // the deadline it refreshes counts as progress, not a timeout.
+    FireDueTimers();
     if (round_hook_) {
       round_hook_();
     }
+    // Recompute after the hook too — it may have armed an earlier deadline.
+    timeout_ms = FireDueTimers();
   }
 }
 

@@ -2,10 +2,22 @@
 //
 // One thread, one epoll instance, nonblocking fds, level-triggered events —
 // the Apache Traffic Server iocore/net shape reduced to what an ad decision
-// server needs: readiness dispatch, no timers, no cross-thread handoff. The
-// only concession to other threads (and to signal handlers) is Wake(): an
-// eventfd registered with the loop so RequestStop/graceful-drain requests
-// interrupt epoll_wait instead of waiting for the next connection byte.
+// server needs: readiness dispatch, monotonic one-shot timers, no
+// cross-thread handoff. The only concession to other threads (and to signal
+// handlers) is Wake(): an eventfd registered with the loop so
+// RequestStop/graceful-drain requests interrupt epoll_wait instead of
+// waiting for the next connection byte.
+//
+// Timers: AddTimer schedules a one-shot callback `delay_ms` from now on the
+// CLOCK_MONOTONIC clock; the earliest pending deadline drives the
+// epoll_wait timeout, so a timer fires within one dispatch round of its
+// deadline without any auxiliary timerfd. Timers are ordered by (deadline,
+// id) — two timers due at the same millisecond fire in creation order.
+// CancelTimer is exact: a cancelled timer never fires, even if it was
+// already due in the round doing the cancelling (the schedule uses lazy
+// deletion, but liveness is checked at fire time). Re-arming from inside a
+// timer callback is supported and yields a fresh id. Timer calls are loop-
+// thread only (not thread-safe), matching Add/Modify/Remove.
 #ifndef ADPAD_SRC_SERVE_EVENT_LOOP_H_
 #define ADPAD_SRC_SERVE_EVENT_LOOP_H_
 
@@ -13,7 +25,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <set>
 #include <unordered_map>
+#include <utility>
 
 #include "src/common/status.h"
 
@@ -38,6 +52,23 @@ class EventLoop {
   // Deregisters `fd` (does not close it). Safe from inside a callback.
   void Remove(int fd);
 
+  // One-shot timer ids. 0 is never a valid id.
+  using TimerId = uint64_t;
+
+  // Schedules `callback` to run once, `delay_ms` from now (monotonic clock).
+  // Safe from inside fd and timer callbacks; loop-thread only.
+  TimerId AddTimer(uint64_t delay_ms, std::function<void()> callback);
+
+  // Guarantees the timer never fires. No-op on unknown/expired ids, so
+  // cancelling after natural expiry is safe. Loop-thread only.
+  void CancelTimer(TimerId id);
+
+  // Pending (armed, unfired, uncancelled) timers; for tests and idle checks.
+  size_t pending_timers() const { return timers_.size(); }
+
+  // Monotonic milliseconds (CLOCK_MONOTONIC), the clock timers live on.
+  static uint64_t NowMs();
+
   // Dispatches events until Stop(). Runs on the caller's thread.
   void Run();
 
@@ -61,6 +92,21 @@ class EventLoop {
   // destroy a Callback the dispatch loop is about to invoke.
   std::unordered_map<int, std::shared_ptr<Callback>> callbacks_;
   std::function<void()> round_hook_;
+
+  // Fires every timer whose deadline has passed. Returns the epoll timeout
+  // (ms) until the next pending deadline, or -1 when no timers are armed.
+  int FireDueTimers();
+
+  struct Timer {
+    uint64_t deadline_ms = 0;
+    std::function<void()> callback;
+  };
+  // Live timers by id, plus a (deadline, id) schedule with lazy deletion:
+  // CancelTimer erases only from timers_, and the schedule skips dead ids at
+  // fire time. Ties fire in id (creation) order.
+  std::unordered_map<TimerId, Timer> timers_;
+  std::set<std::pair<uint64_t, TimerId>> schedule_;
+  TimerId next_timer_id_ = 1;
 };
 
 }  // namespace pad

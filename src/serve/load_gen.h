@@ -10,7 +10,24 @@
 // Determinism: the request sequence of every connection is a pure function
 // of (options.seed, connection index) via forked Rng streams, exposed
 // through BuildRequestPlan so the serving-equivalence test can compute the
-// batch reference answers for exactly the requests the wire carried.
+// batch reference answers for exactly the requests the wire carried. The
+// robustness knobs never touch that stream: backoff jitter draws from a
+// separately-salted fork, so enabling retries cannot move a request plan.
+//
+// Robustness: each request may be given a deadline (req_timeout_ms) and a
+// retry budget (retry_max) with capped exponential backoff and
+// deterministic jitter. A connection that dies mid-plan is re-established
+// and the failed request re-sent on the fresh connection
+// (reconnect-and-resume; the server gives the new connection a fresh
+// session). Retries, timeouts, and reconnects are all tallied in the
+// report, so a chaos bench can assert exactly how much work the fault plan
+// induced.
+//
+// Chaos: when `chaos` rates are set, the client's own connect/send/recv run
+// through a deterministic ChaosPlan (chaos.h) keyed by (chaos_seed,
+// connection index, attempt index): refused connects, request frames cut
+// mid-send (the server sees a torn tail), split sends, dribbled and stalled
+// response reads.
 #ifndef ADPAD_SRC_SERVE_LOAD_GEN_H_
 #define ADPAD_SRC_SERVE_LOAD_GEN_H_
 
@@ -19,6 +36,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/serve/chaos.h"
 #include "src/serve/latency_histogram.h"
 #include "src/serve/wire.h"
 
@@ -40,17 +58,48 @@ struct LoadGenOptions {
   // Capture every response payload per connection (the equivalence test's
   // evidence; costs memory, off for benches).
   bool capture_responses = false;
+
+  // Robustness knobs.
+  int64_t req_timeout_ms = 0;  // Per-request-attempt deadline; 0 = wait forever.
+  int retry_max = 0;           // Extra attempts per request beyond the first.
+  int64_t backoff_ms = 10;     // Base delay before retry k is ~base * 2^k ...
+  int64_t backoff_cap_ms = 1000;  // ... capped here, then jittered to 50–100%.
+
+  // Client-side chaos injection (disabled by default).
+  ChaosConfig chaos;
+  uint64_t chaos_seed = 0;
 };
 
 struct LoadGenReport {
-  int64_t requests_sent = 0;
-  int64_t responses = 0;        // Decisions received (status kOk).
-  int64_t shed = 0;             // kOverloaded answers / refused connections.
-  int64_t errors = 0;           // Socket or protocol failures.
-  double wall_s = 0.0;          // First connect to last response.
-  double qps = 0.0;             // responses / wall_s.
+  int64_t requests_sent = 0;  // Request frames fully handed to the kernel.
+  int64_t responses = 0;      // Decisions received (status kOk).
+  int64_t shed = 0;           // kOverloaded answers / refused connections.
+  int64_t errors = 0;         // Socket or protocol failures (final, post-retry).
+  // Robustness accounting.
+  int64_t retries = 0;     // Attempts beyond each request's first.
+  int64_t timeouts = 0;    // Attempts abandoned at req_timeout_ms.
+  int64_t reconnects = 0;  // Connections re-established mid-plan.
+  int64_t abandoned = 0;   // Plan requests given up after retry_max.
+  // Client-side chaos events actually fired.
+  int64_t chaos_connect_failures = 0;
+  int64_t chaos_partial_writes = 0;
+  int64_t chaos_dribbled_reads = 0;
+  int64_t chaos_stalls = 0;
+  int64_t chaos_cuts = 0;
+  double wall_s = 0.0;  // First connect to last response.
+  double qps = 0.0;     // responses / wall_s.
   // responses[c][r] = raw response payload r of connection c (when captured).
   std::vector<std::vector<std::string>> captured;
+  // Same payloads with provenance (when captured): which plan request each
+  // answers and which reconnect segment (server session) answered it — the
+  // chaos bench replays each segment against DecideBatch to prove the server
+  // never corrupted an answered response.
+  struct CapturedFrame {
+    int32_t request_index = 0;
+    int32_t segment = 0;
+    std::string payload;
+  };
+  std::vector<std::vector<CapturedFrame>> captured_frames;
 };
 
 // The deterministic request sequence of one connection.

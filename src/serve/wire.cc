@@ -164,6 +164,22 @@ Status FrameReader::Append(std::span<const uint8_t> data) {
   return Status::Ok();
 }
 
+bool FrameReader::HasFrame() const {
+  if (!poison_.ok()) {
+    return true;
+  }
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) {
+    return false;
+  }
+  const auto* base = reinterpret_cast<const uint8_t*>(buffer_.data()) + consumed_;
+  const uint32_t length = GetU32(std::span<const uint8_t>(base, kFrameHeaderBytes), 0);
+  if (length > max_payload_) {
+    return true;  // Next() will poison and report; that counts as progress.
+  }
+  return available >= kFrameHeaderBytes + length;
+}
+
 Status FrameReader::Next(std::string* payload, bool* have) {
   *have = false;
   payload->clear();

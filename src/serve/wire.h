@@ -122,6 +122,12 @@ class FrameReader {
   // Bytes buffered but not yet returned (partial frame).
   size_t pending_bytes() const { return buffer_.size() - consumed_; }
 
+  // Whether Next() would make progress right now — a complete frame is
+  // buffered, or the reader is (or is about to be) poisoned. False means
+  // only "more bytes needed". Lets a caller that paused decoding (read
+  // backpressure) know to resume without popping anything.
+  bool HasFrame() const;
+
  private:
   size_t max_payload_;
   std::string buffer_;

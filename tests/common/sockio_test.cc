@@ -1,0 +1,178 @@
+// The retrying socket-I/O discipline (src/common/sockio.h), exercised over
+// socketpairs: short writes and one-byte reads reassemble exactly, a dead
+// peer is a Status (never SIGPIPE), EOF mid-transfer reports the torn-tail
+// byte count, and a signal landing in a blocked read is retried instead of
+// surfacing as a bogus failure.
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "src/common/sockio.h"
+
+namespace pad {
+namespace {
+
+class SocketPair {
+ public:
+  SocketPair() { EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0); }
+  ~SocketPair() {
+    CloseA();
+    CloseB();
+  }
+  int a() const { return fds_[0]; }
+  int b() const { return fds_[1]; }
+  void CloseA() {
+    if (fds_[0] >= 0) {
+      close(fds_[0]);
+      fds_[0] = -1;
+    }
+  }
+  void CloseB() {
+    if (fds_[1] >= 0) {
+      close(fds_[1]);
+      fds_[1] = -1;
+    }
+  }
+
+ private:
+  int fds_[2] = {-1, -1};
+};
+
+std::string Pattern(size_t n) {
+  std::string bytes(n, '\0');
+  for (size_t i = 0; i < n; ++i) {
+    bytes[i] = static_cast<char>('A' + (i * 7 + i / 251) % 53);
+  }
+  return bytes;
+}
+
+TEST(SockioTest, SendAllThenReadFullyRoundTripsOddSizes) {
+  SocketPair pair;
+  // Larger than a single AF_UNIX buffer, so SendAll must loop while the
+  // reader thread drains — the short-write path, not one lucky syscall.
+  const std::string message = Pattern(1 << 20 | 4093);
+  std::string received(message.size(), '\0');
+  std::thread reader([&] {
+    size_t bytes_read = 0;
+    const Status status = ReadFully(pair.b(), received.data(), received.size(), &bytes_read);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    EXPECT_EQ(bytes_read, received.size());
+  });
+  const Status status = SendAll(pair.a(), message.data(), message.size());
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  reader.join();
+  EXPECT_EQ(received, message);
+}
+
+TEST(SockioTest, ReadFullyReassemblesOneByteWrites) {
+  SocketPair pair;
+  const std::string message = Pattern(257);
+  std::thread writer([&] {
+    for (const char byte : message) {
+      ASSERT_EQ(SendSome(pair.a(), &byte, 1), 1);
+    }
+  });
+  std::string received(message.size(), '\0');
+  size_t bytes_read = 0;
+  const Status status = ReadFully(pair.b(), received.data(), received.size(), &bytes_read);
+  writer.join();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(bytes_read, message.size());
+  EXPECT_EQ(received, message);
+}
+
+TEST(SockioTest, ReadFullyReportsTornTailOnEof) {
+  SocketPair pair;
+  const std::string prefix = Pattern(37);
+  ASSERT_TRUE(SendAll(pair.a(), prefix.data(), prefix.size()).ok());
+  pair.CloseA();  // Peer dies with 63 bytes still owed.
+
+  char buffer[100];
+  size_t bytes_read = 0;
+  const Status status = ReadFully(pair.b(), buffer, sizeof(buffer), &bytes_read);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("peer closed"), std::string::npos) << status.ToString();
+  EXPECT_EQ(bytes_read, prefix.size());  // The torn tail is measurable.
+  EXPECT_EQ(std::string(buffer, bytes_read), prefix);
+}
+
+TEST(SockioTest, ReadFullyAtExactBoundaryThenCleanEof) {
+  SocketPair pair;
+  const std::string message = Pattern(64);
+  ASSERT_TRUE(SendAll(pair.a(), message.data(), message.size()).ok());
+  pair.CloseA();
+
+  char buffer[64];
+  size_t bytes_read = 0;
+  ASSERT_TRUE(ReadFully(pair.b(), buffer, sizeof(buffer), &bytes_read).ok());
+  EXPECT_EQ(bytes_read, 64u);
+  // The next read sees a clean EOF: zero progress, "peer closed".
+  const Status status = ReadFully(pair.b(), buffer, 1, &bytes_read);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(bytes_read, 0u);
+}
+
+TEST(SockioTest, SendAllToClosedPeerIsStatusNotSigpipe) {
+  SocketPair pair;
+  pair.CloseB();
+  // Without MSG_NOSIGNAL this would raise SIGPIPE and kill the process
+  // (gtest cannot catch that) — the test passing at all is the assertion.
+  const std::string message = Pattern(4096);
+  Status status = Status::Ok();
+  for (int attempt = 0; attempt < 4 && status.ok(); ++attempt) {
+    status = SendAll(pair.a(), message.data(), message.size());
+  }
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("peer closed"), std::string::npos) << status.ToString();
+}
+
+// EINTR plumbing: a signal handler installed *without* SA_RESTART makes the
+// kernel return EINTR from a blocked read instead of transparently
+// restarting it — exactly the case ReadFully must absorb.
+std::atomic<int> g_signals_taken{0};
+void CountSignal(int) { g_signals_taken.fetch_add(1); }
+
+TEST(SockioTest, ReadFullyRetriesEintr) {
+  struct sigaction action {};
+  action.sa_handler = CountSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // No SA_RESTART: reads really do return EINTR.
+  struct sigaction previous {};
+  ASSERT_EQ(sigaction(SIGUSR1, &action, &previous), 0);
+
+  SocketPair pair;
+  const pthread_t reader_thread = pthread_self();
+  std::atomic<bool> done{false};
+  std::thread pest([&] {
+    // Pepper the blocked reader with signals, then let it finish.
+    for (int i = 0; i < 20; ++i) {
+      pthread_kill(reader_thread, SIGUSR1);
+      usleep(2000);
+    }
+    const std::string message = Pattern(96);
+    EXPECT_TRUE(SendAll(pair.a(), message.data(), message.size()).ok());
+    done.store(true);
+  });
+
+  char buffer[96];
+  size_t bytes_read = 0;
+  const Status status = ReadFully(pair.b(), buffer, sizeof(buffer), &bytes_read);
+  pest.join();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(bytes_read, 96u);
+  EXPECT_EQ(std::string(buffer, 96), Pattern(96));
+  EXPECT_GT(g_signals_taken.load(), 0);
+  EXPECT_TRUE(done.load());
+  sigaction(SIGUSR1, &previous, nullptr);
+}
+
+}  // namespace
+}  // namespace pad

@@ -1,0 +1,383 @@
+// The deterministic chaos layer: plan purity and nesting as unit
+// properties, then a loopback battery that runs real servers and clients
+// under injected chaos and checks the hard guarantees — outcome-preserving
+// modes never change a served byte, cuts tear connections at exactly the
+// hash-chosen point, and every response a chaotic client does receive is
+// byte-identical to the batch replay of the requests its server session
+// decoded.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/ad_server.h"
+#include "src/serve/chaos.h"
+#include "src/serve/latency_histogram.h"
+#include "src/serve/load_gen.h"
+#include "src/serve/session_adapter.h"
+#include "src/serve/wire.h"
+#include "tests/serve/test_client.h"
+
+namespace pad {
+namespace {
+
+TEST(ChaosPlanTest, DisabledPlanNeverFires) {
+  const ChaosPlan plan;  // Default: no config, disabled.
+  EXPECT_FALSE(plan.enabled());
+  for (int64_t c = 0; c < 4; ++c) {
+    for (int64_t i = 0; i < 64; ++i) {
+      EXPECT_FALSE(plan.ConnectFails(c, i));
+      EXPECT_FALSE(plan.PartialWrite(c, i));
+      EXPECT_FALSE(plan.DribbleRead(c, i));
+      EXPECT_FALSE(plan.StallRead(c, i));
+      EXPECT_FALSE(plan.CutFrame(c, i));
+    }
+  }
+}
+
+TEST(ChaosPlanTest, DecisionsArePureFunctionsOfSeedAndCoordinates) {
+  const ChaosConfig config = ChaosConfig::Uniform(0.5);
+  const ChaosPlan a(config, 42);
+  const ChaosPlan b(config, 42);
+  const ChaosPlan other(config, 43);
+  int differs = 0;
+  for (int64_t c = 0; c < 8; ++c) {
+    for (int64_t i = 0; i < 128; ++i) {
+      EXPECT_EQ(a.PartialWrite(c, i), b.PartialWrite(c, i));
+      EXPECT_EQ(a.DribbleRead(c, i), b.DribbleRead(c, i));
+      EXPECT_EQ(a.StallRead(c, i), b.StallRead(c, i));
+      EXPECT_EQ(a.CutFrame(c, i), b.CutFrame(c, i));
+      EXPECT_EQ(a.ConnectFails(c, i), b.ConnectFails(c, i));
+      EXPECT_EQ(a.SplitPoint(c, i, 26), b.SplitPoint(c, i, 26));
+      differs += a.CutFrame(c, i) != other.CutFrame(c, i) ? 1 : 0;
+    }
+  }
+  // A different seed is a different schedule (overwhelmingly, at rate 0.5
+  // over 1024 draws).
+  EXPECT_GT(differs, 0);
+}
+
+TEST(ChaosPlanTest, DecisionSetsNestAcrossRates) {
+  // Common-random-numbers coupling: every event injected at the low rate is
+  // injected at every higher rate, which is what lets the chaos bench
+  // assert monotone degradation instead of mere noise.
+  const ChaosPlan low(ChaosConfig::Uniform(0.05), 7);
+  const ChaosPlan high(ChaosConfig::Uniform(0.2), 7);
+  for (int64_t c = 0; c < 16; ++c) {
+    for (int64_t i = 0; i < 64; ++i) {
+      if (low.PartialWrite(c, i)) {
+        EXPECT_TRUE(high.PartialWrite(c, i));
+      }
+      if (low.DribbleRead(c, i)) {
+        EXPECT_TRUE(high.DribbleRead(c, i));
+      }
+      if (low.StallRead(c, i)) {
+        EXPECT_TRUE(high.StallRead(c, i));
+      }
+      if (low.CutFrame(c, i)) {
+        EXPECT_TRUE(high.CutFrame(c, i));
+      }
+      if (low.ConnectFails(c, i)) {
+        EXPECT_TRUE(high.ConnectFails(c, i));
+      }
+    }
+  }
+}
+
+TEST(ChaosPlanTest, RateZeroNeverRateOneAlways) {
+  const ChaosPlan never(ChaosConfig::Uniform(0.0), 3);
+  EXPECT_FALSE(never.enabled());
+  const ChaosPlan always(ChaosConfig::Uniform(1.0), 3);
+  ASSERT_TRUE(always.enabled());
+  for (int64_t c = 0; c < 4; ++c) {
+    for (int64_t i = 0; i < 64; ++i) {
+      EXPECT_FALSE(never.CutFrame(c, i));
+      EXPECT_TRUE(always.PartialWrite(c, i));
+      EXPECT_TRUE(always.DribbleRead(c, i));
+      EXPECT_TRUE(always.StallRead(c, i));
+      EXPECT_TRUE(always.CutFrame(c, i));
+      EXPECT_TRUE(always.ConnectFails(c, i));
+    }
+  }
+}
+
+TEST(ChaosPlanTest, SplitPointIsAProperNonEmptyPrefix) {
+  const ChaosPlan plan(ChaosConfig::Uniform(1.0), 11);
+  for (const size_t frame_bytes : {size_t{2}, size_t{12}, size_t{26}, size_t{1000}}) {
+    for (int64_t i = 0; i < 256; ++i) {
+      const size_t split = plan.SplitPoint(0, i, frame_bytes);
+      ASSERT_GE(split, 1u) << frame_bytes;
+      ASSERT_LE(split, frame_bytes - 1) << frame_bytes;
+    }
+  }
+}
+
+TEST(ChaosPlanTest, ValidateRejectsOutOfRangeKnobs) {
+  ChaosConfig config;
+  config.cut_rate = 1.5;
+  const Status bad_rate = ValidateChaosConfig(config);
+  ASSERT_FALSE(bad_rate.ok());
+  EXPECT_NE(bad_rate.message().find("chaos_cut_rate"), std::string::npos);
+  config.cut_rate = 0.0;
+  config.stall_ms = -1.0;
+  const Status bad_stall = ValidateChaosConfig(config);
+  ASSERT_FALSE(bad_stall.ok());
+  EXPECT_NE(bad_stall.message().find("chaos_stall_ms"), std::string::npos);
+  config.stall_ms = 0.0;
+  EXPECT_TRUE(ValidateChaosConfig(config).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Loopback battery: real sockets, real chaos.
+
+class ChaosLoopbackTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ServeConfig config = DefaultServeConfig(24);
+    StatusOr<std::unique_ptr<DecisionEngine>> engine = DecisionEngine::Create(config);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    engine_ = engine->release();
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+  }
+  static DecisionEngine* engine_;
+};
+
+DecisionEngine* ChaosLoopbackTest::engine_ = nullptr;
+
+// Server-side outcome-preserving chaos (partial writes, dribbled reads,
+// short stalls) must not change one served byte, across chaos seeds.
+TEST_F(ChaosLoopbackTest, OutcomePreservingServerChaosServesIdenticalBytes) {
+  for (const uint64_t chaos_seed : {uint64_t{1}, uint64_t{7}, uint64_t{13}}) {
+    AdServerOptions options;
+    options.chaos.partial_write_rate = 0.3;
+    options.chaos.dribble_read_rate = 0.3;
+    options.chaos.stall_rate = 0.3;
+    options.chaos.stall_ms = 1.0;
+    options.chaos_seed = chaos_seed;
+    AdServer server(*engine_, options);
+    ASSERT_TRUE(server.Start().ok());
+    std::thread server_thread([&server] { server.Run(); });
+
+    std::vector<WireRequest> plan;
+    for (int r = 0; r < 40; ++r) {
+      plan.push_back(WireRequest{static_cast<uint64_t>(r % engine_->num_clients()),
+                                 1 + static_cast<uint32_t>(r % 4), 3600.0});
+    }
+    TestClient client;
+    ASSERT_TRUE(client.Connect(server.port()));
+    const std::vector<WireResponse> expected = engine_->DecideBatch(plan);
+    for (size_t r = 0; r < plan.size(); ++r) {
+      ASSERT_TRUE(client.SendRequest(plan[r])) << "seed " << chaos_seed << " request " << r;
+      std::string payload;
+      ASSERT_TRUE(client.ReadPayload(&payload)) << "seed " << chaos_seed << " request " << r;
+      ASSERT_EQ(payload, EncodeResponsePayload(expected[r]))
+          << "seed " << chaos_seed << " request " << r;
+    }
+    server.RequestDrain();
+    ASSERT_TRUE(client.ReadEof());
+    server_thread.join();
+    const AdServerStats& stats = server.stats();
+    EXPECT_EQ(stats.served, 40);
+    EXPECT_EQ(stats.protocol_errors, 0);
+    // At rate 0.3 over 40 frames per channel, silence would mean the chaos
+    // layer is not actually wired in (P ~ 6e-7 per channel).
+    EXPECT_GT(stats.chaos_partial_writes + stats.chaos_dribbled_reads + stats.chaos_stalls, 0)
+        << "seed " << chaos_seed;
+    EXPECT_EQ(stats.chaos_cuts, 0);
+  }
+}
+
+// The same chaos seed must produce the same injected-event counts run after
+// run — the property the checked-in bench baseline stands on.
+TEST_F(ChaosLoopbackTest, ChaosScheduleIsReproducibleAcrossRuns) {
+  std::vector<int64_t> counts;
+  std::vector<std::vector<std::string>> captured;
+  for (int round = 0; round < 2; ++round) {
+    AdServerOptions options;
+    options.chaos.partial_write_rate = 0.4;
+    options.chaos.dribble_read_rate = 0.4;
+    options.chaos_seed = 99;
+    AdServer server(*engine_, options);
+    ASSERT_TRUE(server.Start().ok());
+    std::thread server_thread([&server] { server.Run(); });
+
+    TestClient client;
+    ASSERT_TRUE(client.Connect(server.port()));
+    std::vector<std::string> payloads;
+    for (int r = 0; r < 30; ++r) {
+      ASSERT_TRUE(client.SendRequest(WireRequest{static_cast<uint64_t>(r % 7), 2, 3600.0}));
+      std::string payload;
+      ASSERT_TRUE(client.ReadPayload(&payload));
+      payloads.push_back(payload);
+    }
+    server.RequestDrain();
+    server_thread.join();
+    counts.push_back(server.stats().chaos_partial_writes);
+    counts.push_back(server.stats().chaos_dribbled_reads);
+    captured.push_back(std::move(payloads));
+  }
+  EXPECT_EQ(counts[0], counts[2]);
+  EXPECT_EQ(counts[1], counts[3]);
+  EXPECT_EQ(captured[0], captured[1]);
+}
+
+// A mid-frame cut tears the byte stream at exactly the hash-chosen split
+// point: the client receives that prefix, then EOF, never a decodable lie.
+TEST_F(ChaosLoopbackTest, ServerCutDeliversExactPrefixThenCloses) {
+  AdServerOptions options;
+  options.chaos.cut_rate = 1.0;
+  options.chaos_seed = 5;
+  AdServer server(*engine_, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread server_thread([&server] { server.Run(); });
+
+  const WireRequest request{3, 2, 3600.0};
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.SendRequest(request));
+  std::string received;
+  client.ReadUntilClosed(&received);
+
+  // Reconstruct the server's plan: connection 0, outbound frame 0.
+  std::string expected_frame;
+  AppendResponseFrame(engine_->DecideBatch({request})[0], &expected_frame);
+  const ChaosPlan plan(options.chaos, options.chaos_seed);
+  const size_t split = plan.SplitPoint(0, 0, expected_frame.size());
+  EXPECT_EQ(received, expected_frame.substr(0, split));
+
+  server.RequestDrain();
+  server_thread.join();
+  EXPECT_EQ(server.stats().chaos_cuts, 1);
+}
+
+TEST_F(ChaosLoopbackTest, ServerCutWithRstSurfacesAsDeadConnectionNotData) {
+  AdServerOptions options;
+  options.chaos.cut_rate = 1.0;
+  options.chaos.cut_with_rst = true;
+  options.chaos_seed = 5;
+  AdServer server(*engine_, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread server_thread([&server] { server.Run(); });
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.SendRequest(WireRequest{3, 2, 3600.0}));
+  // RST may discard in-flight bytes; the only guarantee is that no complete
+  // frame ever materializes.
+  std::string payload;
+  EXPECT_FALSE(client.ReadPayload(&payload));
+
+  server.RequestDrain();
+  server_thread.join();
+  EXPECT_EQ(server.stats().chaos_cuts, 1);
+}
+
+// Client-side chaos end to end: cuts, connect failures, retries, and
+// reconnects — and still, every response any client received is
+// byte-identical to the batch replay of the requests its server session
+// actually decoded (grouped by reconnect segment). This is the
+// zero-corruption contract the E23 bench asserts at scale.
+TEST_F(ChaosLoopbackTest, ChaoticClientsNeverReceiveCorruptedDecisions) {
+  AdServerOptions options;
+  AdServer server(*engine_, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread server_thread([&server] { server.Run(); });
+
+  LoadGenOptions load;
+  load.port = server.port();
+  load.connections = 4;
+  load.requests_per_connection = 50;
+  load.client_count = engine_->num_clients();
+  load.seed = 21;
+  load.capture_responses = true;
+  load.retry_max = 8;
+  load.backoff_ms = 1;
+  load.backoff_cap_ms = 8;
+  load.chaos.cut_rate = 0.15;
+  load.chaos.connect_failure_rate = 0.1;
+  load.chaos.partial_write_rate = 0.2;
+  load.chaos.dribble_read_rate = 0.2;
+  load.chaos.stall_rate = 0.2;
+  load.chaos.stall_ms = 1.0;
+  load.chaos_seed = 77;
+
+  LatencyHistogram latency;
+  LoadGenReport report;
+  ASSERT_TRUE(RunLoadGen(load, latency, &report).ok());
+  server.RequestDrain();
+  server_thread.join();
+
+  // The chaos actually happened and the retry machinery actually worked.
+  EXPECT_GT(report.chaos_cuts, 0);
+  EXPECT_GT(report.retries, 0);
+  EXPECT_GT(report.reconnects, 0);
+  EXPECT_GT(report.responses, 0);
+  // Torn request tails land in the server's dirty-disconnect counter.
+  EXPECT_EQ(server.stats().dirty_disconnects, report.chaos_cuts);
+
+  // Per connection, per reconnect segment: the responses received must equal
+  // the batch replay of the requests answered in that segment, in order.
+  for (int c = 0; c < load.connections; ++c) {
+    const std::vector<WireRequest> plan = BuildRequestPlan(load, c);
+    std::map<int32_t, std::vector<const LoadGenReport::CapturedFrame*>> by_segment;
+    for (const LoadGenReport::CapturedFrame& frame :
+         report.captured_frames[static_cast<size_t>(c)]) {
+      by_segment[frame.segment].push_back(&frame);
+    }
+    for (const auto& [segment, frames] : by_segment) {
+      std::vector<WireRequest> asked;
+      asked.reserve(frames.size());
+      for (const LoadGenReport::CapturedFrame* frame : frames) {
+        asked.push_back(plan[static_cast<size_t>(frame->request_index)]);
+      }
+      const std::vector<WireResponse> expected = engine_->DecideBatch(asked);
+      for (size_t r = 0; r < frames.size(); ++r) {
+        ASSERT_EQ(frames[r]->payload, EncodeResponsePayload(expected[r]))
+            << "connection " << c << " segment " << segment << " response " << r;
+      }
+    }
+  }
+}
+
+// Server-side stalls longer than the client's request timeout drive the
+// full client giving-up path: timeout, reconnect, retry, abandon.
+TEST_F(ChaosLoopbackTest, RequestTimeoutsRetryThenAbandon) {
+  AdServerOptions options;
+  options.chaos.stall_rate = 1.0;
+  options.chaos.stall_ms = 300.0;  // Far beyond the client deadline.
+  options.chaos_seed = 2;
+  AdServer server(*engine_, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread server_thread([&server] { server.Run(); });
+
+  LoadGenOptions load;
+  load.port = server.port();
+  load.connections = 1;
+  load.requests_per_connection = 3;
+  load.client_count = engine_->num_clients();
+  load.req_timeout_ms = 40;
+  load.retry_max = 2;
+  load.backoff_ms = 1;
+  load.backoff_cap_ms = 2;
+
+  LatencyHistogram latency;
+  LoadGenReport report;
+  ASSERT_TRUE(RunLoadGen(load, latency, &report).ok());
+  server.RequestDrain();
+  server_thread.join();
+
+  EXPECT_EQ(report.responses, 0);
+  EXPECT_EQ(report.timeouts, 3);    // One per attempt (1 first try + 2 retries).
+  EXPECT_EQ(report.retries, 2);
+  EXPECT_EQ(report.reconnects, 2);  // Each retry re-established the connection.
+  EXPECT_EQ(report.abandoned, 3);   // The whole plan was given up.
+}
+
+}  // namespace
+}  // namespace pad

@@ -1,0 +1,143 @@
+// The event loop's timer facility: monotonic one-shot timers driving the
+// epoll wait timeout. The hardened server hangs every deadline (idle,
+// write-stall, chaos stall resume, eviction grace) off these, so the exact
+// semantics — deadline ordering, tie order, exact cancellation, re-arm from
+// inside a callback, firing against an fd being torn down — each get a test.
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/serve/event_loop.h"
+
+namespace pad {
+namespace {
+
+TEST(EventLoopTimerTest, FiresInDeadlineOrder) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.status().ok());
+  std::vector<int> order;
+  loop.AddTimer(30, [&] { order.push_back(30); });
+  loop.AddTimer(10, [&] { order.push_back(10); });
+  loop.AddTimer(20, [&] { order.push_back(20); });
+  loop.AddTimer(50, [&] { loop.Stop(); });
+  EXPECT_EQ(loop.pending_timers(), 4u);
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+  EXPECT_EQ(loop.pending_timers(), 0u);
+}
+
+TEST(EventLoopTimerTest, EqualDeadlinesFireInCreationOrder) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.status().ok());
+  std::vector<int> order;
+  loop.AddTimer(10, [&] { order.push_back(1); });
+  loop.AddTimer(10, [&] { order.push_back(2); });
+  loop.AddTimer(10, [&] { order.push_back(3); });
+  loop.AddTimer(30, [&] { loop.Stop(); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoopTimerTest, CancelledTimerNeverFires) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.status().ok());
+  bool fired = false;
+  const EventLoop::TimerId id = loop.AddTimer(10, [&] { fired = true; });
+  loop.CancelTimer(id);
+  EXPECT_EQ(loop.pending_timers(), 0u);
+  loop.AddTimer(30, [&] { loop.Stop(); });
+  loop.Run();
+  EXPECT_FALSE(fired);
+  // Cancelling again (already expired id) is a harmless no-op.
+  loop.CancelTimer(id);
+}
+
+TEST(EventLoopTimerTest, CancelFromEarlierTimerInSameRound) {
+  // Both timers are due in the same dispatch round; the first cancels the
+  // second. Lazy schedule deletion must not resurrect it.
+  EventLoop loop;
+  ASSERT_TRUE(loop.status().ok());
+  bool second_fired = false;
+  EventLoop::TimerId second = 0;
+  loop.AddTimer(10, [&] { loop.CancelTimer(second); });
+  second = loop.AddTimer(10, [&] { second_fired = true; });
+  loop.AddTimer(30, [&] { loop.Stop(); });
+  loop.Run();
+  EXPECT_FALSE(second_fired);
+}
+
+TEST(EventLoopTimerTest, RearmFromInsideCallback) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.status().ok());
+  int fires = 0;
+  std::function<void()> tick = [&] {
+    ++fires;
+    if (fires < 3) {
+      loop.AddTimer(5, tick);
+    } else {
+      loop.Stop();
+    }
+  };
+  loop.AddTimer(5, tick);
+  loop.Run();
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(loop.pending_timers(), 0u);
+}
+
+TEST(EventLoopTimerTest, TimerFiringWhileItsFdIsBeingClosed) {
+  // The server's shape: a connection owns both an fd registration and
+  // timers. A deadline that closes the fd must (a) run safely while the fd
+  // has a hot EPOLLIN event queued in the same round, and (b) cancel the
+  // connection's other timer so it never touches freed state.
+  EventLoop loop;
+  ASSERT_TRUE(loop.status().ok());
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  int fd_events = 0;
+  ASSERT_TRUE(loop.Add(fds[0], EPOLLIN, [&](uint32_t) { ++fd_events; }).ok());
+  // Make EPOLLIN permanently hot so every dispatch round carries an event
+  // for the fd that is about to be closed.
+  ASSERT_EQ(write(fds[1], "x", 1), 1);
+
+  bool late_timer_fired = false;
+  EventLoop::TimerId late = 0;
+  loop.AddTimer(20, [&] {
+    // Teardown, as CloseNow does it: cancel the sibling timer (due in this
+    // very round, created later so it would fire after us), deregister,
+    // close.
+    loop.CancelTimer(late);
+    loop.Remove(fds[0]);
+    close(fds[0]);
+  });
+  late = loop.AddTimer(20, [&] { late_timer_fired = true; });
+  loop.AddTimer(60, [&] { loop.Stop(); });
+  loop.Run();
+
+  EXPECT_GT(fd_events, 0);         // The fd was live before the deadline...
+  EXPECT_FALSE(late_timer_fired);  // ...and its sibling timer died with it.
+  close(fds[1]);
+}
+
+TEST(EventLoopTimerTest, TimerWithNoFdTrafficStillFires) {
+  // No fds except the internal wake eventfd: the epoll timeout alone must
+  // wake the loop. (A loop that waited forever would hang this test.)
+  EventLoop loop;
+  ASSERT_TRUE(loop.status().ok());
+  const uint64_t t0 = EventLoop::NowMs();
+  uint64_t fired_at = 0;
+  loop.AddTimer(25, [&] {
+    fired_at = EventLoop::NowMs();
+    loop.Stop();
+  });
+  loop.Run();
+  ASSERT_GT(fired_at, 0u);
+  EXPECT_GE(fired_at - t0, 25u);
+}
+
+}  // namespace
+}  // namespace pad

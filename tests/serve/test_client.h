@@ -1,0 +1,147 @@
+// A minimal blocking loopback client for serve tests that need finer
+// control than the load generator exposes: parked connections, byte-level
+// sends, half-closes, raw reads of torn streams. Test-only; production
+// clients live in src/serve/load_gen.cc.
+#ifndef ADPAD_TESTS_SERVE_TEST_CLIENT_H_
+#define ADPAD_TESTS_SERVE_TEST_CLIENT_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "src/serve/wire.h"
+
+namespace pad {
+
+class TestClient {
+ public:
+  TestClient() = default;
+  ~TestClient() {
+    if (fd_ >= 0) {
+      close(fd_);
+    }
+  }
+  TestClient(const TestClient&) = delete;
+  TestClient& operator=(const TestClient&) = delete;
+
+  // Shrinks this socket's receive buffer (call before Connect so the window
+  // scales accordingly): lets a test wedge the server's send path with a few
+  // kilobytes instead of megabytes.
+  void SetSmallReceiveBuffer(int bytes) { rcvbuf_ = bytes; }
+
+  bool Connect(uint16_t port) {
+    fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) {
+      return false;
+    }
+    if (rcvbuf_ > 0) {
+      setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_, sizeof(rcvbuf_));
+    }
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+    if (connect(fd_, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+      close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    const int enable = 1;
+    setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    return true;
+  }
+
+  int fd() const { return fd_; }
+
+  bool Send(const std::string& bytes) {
+    size_t offset = 0;
+    while (offset < bytes.size()) {
+      const ssize_t n = send(fd_, bytes.data() + offset, bytes.size() - offset, MSG_NOSIGNAL);
+      if (n <= 0) {
+        return false;
+      }
+      offset += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  // Sends `bytes` one byte per syscall (TCP_NODELAY: each byte is its own
+  // segment on loopback) — the torture case for frame reassembly.
+  bool SendByteByByte(const std::string& bytes) {
+    for (const char byte : bytes) {
+      if (send(fd_, &byte, 1, MSG_NOSIGNAL) != 1) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool SendRequest(const WireRequest& request) {
+    std::string frame;
+    AppendRequestFrame(request, &frame);
+    return Send(frame);
+  }
+
+  // Half-close: "no more requests from me", response direction stays open.
+  bool ShutdownWrite() { return shutdown(fd_, SHUT_WR) == 0; }
+
+  // Reads until a full frame is available; false on EOF/error first.
+  bool ReadPayload(std::string* payload) {
+    bool have = false;
+    while (true) {
+      if (!reader_.Next(payload, &have).ok()) {
+        return false;
+      }
+      if (have) {
+        return true;
+      }
+      char buffer[4096];
+      const ssize_t n = read(fd_, buffer, sizeof(buffer));
+      if (n <= 0) {
+        return false;
+      }
+      if (!reader_
+               .Append(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(buffer),
+                                                static_cast<size_t>(n)))
+               .ok()) {
+        return false;
+      }
+    }
+  }
+
+  // True iff the peer cleanly closed with no residual frame bytes.
+  bool ReadEof() {
+    char buffer[256];
+    const ssize_t n = read(fd_, buffer, sizeof(buffer));
+    return n == 0 && reader_.pending_bytes() == 0;
+  }
+
+  // Drains the connection raw until EOF or error; whatever arrived lands in
+  // `*bytes`. For asserting the exact prefix a mid-frame cut left behind.
+  void ReadUntilClosed(std::string* bytes) {
+    bytes->clear();
+    char buffer[4096];
+    while (true) {
+      const ssize_t n = read(fd_, buffer, sizeof(buffer));
+      if (n <= 0) {
+        return;
+      }
+      bytes->append(buffer, static_cast<size_t>(n));
+    }
+  }
+
+  size_t pending_bytes() const { return reader_.pending_bytes(); }
+
+ private:
+  int fd_ = -1;
+  int rcvbuf_ = 0;
+  FrameReader reader_;
+};
+
+}  // namespace pad
+
+#endif  // ADPAD_TESTS_SERVE_TEST_CLIENT_H_

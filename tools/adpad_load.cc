@@ -19,6 +19,21 @@
 //   max_slots=N              slot_count drawn uniformly from [1, N]
 //   deadline_s=X             per-request display deadline
 //
+// Robustness (see src/serve/load_gen.h):
+//   req_timeout_ms=N         per-attempt response deadline (0 = wait forever)
+//   retry_max=N              extra attempts per request beyond the first
+//   backoff_ms=N             retry k backs off ~backoff_ms * 2^k ms ...
+//   backoff_cap_ms=N         ... capped here, jittered deterministically
+//
+// Client-side chaos injection (deterministic; for the chaos battery/bench):
+//   chaos_seed=N                  schedule seed
+//   chaos_connect_failure_rate=X  refuse a connect attempt
+//   chaos_partial_write_rate=X    split a request frame across sends
+//   chaos_dribble_read_rate=X     read a response one byte at a time
+//   chaos_stall_rate=X            stall chaos_stall_ms before reading
+//   chaos_stall_ms=X              stall length (default 20)
+//   chaos_cut_rate=X              abandon a request frame mid-send
+//
 // Exit codes: 0 all requests answered, 1 invalid arguments, 2 connect
 // failure or any sheds/errors (the run did not measure what it claims).
 #include <iostream>
@@ -54,6 +69,18 @@ int Main(int argc, char** argv) {
   load.seed = static_cast<uint64_t>(options->GetInt("seed", 1));
   load.max_slots = static_cast<uint32_t>(options->GetInt("max_slots", 4));
   load.deadline_s = options->GetDouble("deadline_s", load.deadline_s);
+  load.req_timeout_ms = options->GetInt("req_timeout_ms", 0);
+  load.retry_max = options->GetInt("retry_max", 0);
+  load.backoff_ms = options->GetInt("backoff_ms", static_cast<int>(load.backoff_ms));
+  load.backoff_cap_ms =
+      options->GetInt("backoff_cap_ms", static_cast<int>(load.backoff_cap_ms));
+  load.chaos_seed = static_cast<uint64_t>(options->GetInt("chaos_seed", 0));
+  load.chaos.connect_failure_rate = options->GetDouble("chaos_connect_failure_rate", 0.0);
+  load.chaos.partial_write_rate = options->GetDouble("chaos_partial_write_rate", 0.0);
+  load.chaos.dribble_read_rate = options->GetDouble("chaos_dribble_read_rate", 0.0);
+  load.chaos.stall_rate = options->GetDouble("chaos_stall_rate", 0.0);
+  load.chaos.stall_ms = options->GetDouble("chaos_stall_ms", load.chaos.stall_ms);
+  load.chaos.cut_rate = options->GetDouble("chaos_cut_rate", 0.0);
   if (!options->error().empty()) {
     std::cerr << options->error() << "\n";
     return 1;
@@ -79,6 +106,9 @@ int Main(int argc, char** argv) {
             << " requests_per_connection=" << load.requests_per_connection << "\n"
             << "requests=" << report.requests_sent << " responses=" << report.responses
             << " shed=" << report.shed << " errors=" << report.errors << "\n"
+            << "retries=" << report.retries << " timeouts=" << report.timeouts
+            << " reconnects=" << report.reconnects << " abandoned=" << report.abandoned
+            << "\n"
             << "p50=" << Us(latency.ValueAtQuantile(0.50))
             << " p99=" << Us(latency.ValueAtQuantile(0.99))
             << " p999=" << Us(latency.ValueAtQuantile(0.999)) << " min=" << Us(latency.min())

@@ -20,6 +20,23 @@
 //   num_segments=N         audience segments (campaign targeting)
 //   capacity_confidence=C  per-client sale-capacity confidence bar
 //
+// Hardening (0 disables a deadline; see src/serve/ad_server.h):
+//   idle_timeout_ms=N      close a connection silent for N ms
+//   write_stall_ms=N       evict a client that refuses to drain for N ms
+//   max_inflight=N         buffered responses per connection before
+//                          read backpressure
+//   max_out_kib=N          output buffer watermark per connection, KiB
+//   sndbuf=N               per-connection SO_SNDBUF bytes (0 = kernel default)
+//
+// Server-side chaos injection (deterministic; for the chaos battery/bench):
+//   chaos_seed=N                 schedule seed
+//   chaos_partial_write_rate=X   split a response frame across sends
+//   chaos_dribble_read_rate=X    deliver a request one byte per round
+//   chaos_stall_rate=X           park reads for chaos_stall_ms
+//   chaos_stall_ms=X             stall length (default 20)
+//   chaos_cut_rate=X             close mid-frame (FIN, or RST with
+//   chaos_cut_with_rst=0|1       an abortive linger)
+//
 // Exit codes: 0 ok (including signal-triggered drain), 1 invalid
 // argument/config, 2 environment failure (bind/listen).
 #include <csignal>
@@ -70,6 +87,20 @@ int Main(int argc, char** argv) {
   server_options.port = static_cast<uint16_t>(options->GetInt("port", 0));
   server_options.max_sessions = options->GetInt("max_sessions", 256);
   server_options.accept_backlog = options->GetInt("accept_backlog", 64);
+  server_options.idle_timeout_ms = options->GetInt("idle_timeout_ms", 0);
+  server_options.write_stall_ms = options->GetInt("write_stall_ms", 0);
+  server_options.max_inflight = options->GetInt("max_inflight", server_options.max_inflight);
+  server_options.max_out_bytes =
+      static_cast<size_t>(options->GetInt("max_out_kib", 256)) * 1024;
+  server_options.so_sndbuf = options->GetInt("sndbuf", 0);
+  server_options.chaos_seed = static_cast<uint64_t>(options->GetInt("chaos_seed", 0));
+  server_options.chaos.partial_write_rate = options->GetDouble("chaos_partial_write_rate", 0.0);
+  server_options.chaos.dribble_read_rate = options->GetDouble("chaos_dribble_read_rate", 0.0);
+  server_options.chaos.stall_rate = options->GetDouble("chaos_stall_rate", 0.0);
+  server_options.chaos.stall_ms =
+      options->GetDouble("chaos_stall_ms", server_options.chaos.stall_ms);
+  server_options.chaos.cut_rate = options->GetDouble("chaos_cut_rate", 0.0);
+  server_options.chaos.cut_with_rst = options->GetInt("chaos_cut_with_rst", 0) != 0;
   if (!options->error().empty()) {
     std::cerr << options->error() << "\n";
     return 1;
@@ -107,7 +138,11 @@ int Main(int argc, char** argv) {
   const AdServerStats& stats = server.stats();
   std::cout << "drained: accepted=" << stats.accepted << " served=" << stats.served
             << " shed=" << stats.shed << " protocol_errors=" << stats.protocol_errors
-            << "\n";
+            << " idle_timeouts=" << stats.idle_timeouts
+            << " stall_evictions=" << stats.stall_evictions
+            << " backpressure_pauses=" << stats.backpressure_pauses
+            << " half_closed=" << stats.half_closed
+            << " dirty_disconnects=" << stats.dirty_disconnects << "\n";
   return 0;
 }
 
